@@ -1,0 +1,39 @@
+"""Shared benchmark fixtures: artifact saving and one-shot benchmarking.
+
+Every benchmark regenerates one table/figure of the paper.  Generation
+is deterministic model evaluation, so each runs once per benchmark
+(rounds=1) and the artifact is persisted under ``bench_results/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS = Path(__file__).resolve().parent.parent / "bench_results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS.mkdir(exist_ok=True)
+    return RESULTS
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Benchmark a generator exactly once and return its artifact."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1,
+            warmup_rounds=0,
+        )
+
+    return _run
+
+
+def save_and_print(artifact, name: str, results_dir: Path) -> None:
+    text = artifact.render()
+    artifact.save(name, results_dir)
+    print("\n" + text)

@@ -1,0 +1,157 @@
+"""Benchmarks regenerating Figures 5-9 (modelled runtime comparisons).
+
+Each figure's assertions encode the qualitative claims the paper draws
+from it — who wins, by roughly what factor, where the crossovers fall.
+"""
+
+import numpy as np
+
+from repro.bench import paper_data
+from repro.bench.figures import (
+    FIG8B_BLOCK_SIZES,
+    FIG8B_COMBOS,
+    figure5,
+    figure6,
+    figure7,
+    figure8a,
+    figure8b,
+    figure9,
+)
+
+from conftest import save_and_print
+
+
+def _case(fig, series, case):
+    return fig.series[series][list(fig.x).index(case)]
+
+
+class TestFigure5:
+    def test_fig5_baseline(self, run_once, results_dir):
+        f = run_once(figure5)
+        save_and_print(f, "figure5", results_dir)
+        for case in f.x:
+            # K40 fastest baseline on every case.
+            k40 = _case(f, "K40", case)
+            for s in ("CPU 1 MPI", "CPU 1 OpenMP", "CPU 2 MPI"):
+                assert k40 < _case(f, s, case)
+            # CPU 2 meaningfully faster than CPU 1.
+            assert _case(f, "CPU 2 MPI", case) < 0.75 * _case(
+                f, "CPU 1 MPI", case
+            )
+            # Pure MPI <= hybrid OpenMP on CPUs (threading overheads).
+            assert _case(f, "CPU 1 MPI", case) <= 1.05 * _case(
+                f, "CPU 1 OpenMP", case
+            )
+        # DP costs more than SP but (scalar) less than 2x — Section 6.2's
+        # evidence that scalar code is not bandwidth-limited everywhere.
+        sp = _case(f, "CPU 1 MPI", "Airfoil Single")
+        dp = _case(f, "CPU 1 MPI", "Airfoil Double")
+        assert 1.2 < dp / sp < 1.9
+
+
+class TestFigure6:
+    def test_fig6_cpu_vectorization(self, run_once, results_dir):
+        f = run_once(figure6)
+        save_and_print(f, "figure6", results_dir)
+        for mach in ("CPU1", "CPU2"):
+            sp, dp = f"{mach} Airfoil SP", f"{mach} Airfoil DP"
+            s_sp = _case(f, "MPI", sp) / _case(f, "MPI vectorized", sp)
+            s_dp = _case(f, "MPI", dp) / _case(f, "MPI vectorized", dp)
+            lo, hi = paper_data.CPU_VEC_SPEEDUP_SP
+            assert lo - 0.15 <= s_sp <= hi + 0.25, (mach, s_sp)
+            lo, hi = paper_data.CPU_VEC_SPEEDUP_DP
+            assert lo - 0.1 <= s_dp <= hi + 0.1, (mach, s_dp)
+            # SP gains much more than DP (fixed register width).
+            assert s_sp > s_dp
+            # Pure MPI beats hybrid (paper: "with one exception").
+            assert _case(f, "MPI vectorized", sp) <= 1.05 * _case(
+                f, "OpenMP vectorized", sp
+            )
+            # OpenCL lands near plain OpenMP.
+            ratio = _case(f, "OpenCL", dp) / _case(f, "OpenMP", dp)
+            assert 0.7 <= ratio <= 1.4, (mach, ratio)
+
+
+class TestFigure7:
+    def test_fig7_phi(self, run_once, results_dir):
+        f = run_once(figure7)
+        save_and_print(f, "figure7", results_dir)
+        scal, intr = "Scalar MPI+OpenMP", "Vectorized MPI+OpenMP"
+        s_sp = _case(f, scal, "Airfoil Single") / _case(f, intr,
+                                                        "Airfoil Single")
+        s_dp = _case(f, scal, "Airfoil Double") / _case(f, intr,
+                                                        "Airfoil Double")
+        lo, hi = paper_data.PHI_VEC_SPEEDUP_SP
+        assert lo - 0.2 <= s_sp <= hi + 0.3, s_sp
+        lo, hi = paper_data.PHI_VEC_SPEEDUP_DP
+        assert lo - 0.2 <= s_dp <= hi + 0.3, s_dp
+        for case in f.x:
+            # Auto-vectorization fails: worse than scalar overall.
+            assert _case(f, "Auto-vectorized MPI+OpenMP", case) > _case(
+                f, scal, case
+            )
+            # OpenCL between scalar and intrinsics.
+            assert _case(f, intr, case) < _case(f, "OpenCL", case)
+            # Hybrid beats pure MPI on the Phi (>120 ranks overhead).
+            assert _case(f, intr, case) < _case(f, "Vectorized MPI", case)
+
+
+class TestFigure8a:
+    def test_fig8a_coloring(self, run_once, results_dir):
+        f = run_once(figure8a)
+        save_and_print(f, "figure8a", results_dir)
+        orig, full, block = f.x
+        for series in f.series:
+            vals = dict(zip(f.x, f.series[series]))
+            # The original two-level coloring wins everywhere.
+            assert vals[orig] < vals[full] and vals[orig] < vals[block]
+        for dt in ("Single", "Double"):
+            k40 = dict(zip(f.x, f.series[f"K40 {dt}"]))
+            phi = dict(zip(f.x, f.series[f"Phi {dt}"]))
+            # K40's tiny cache: full permute beats block permute;
+            # the Phi's 30MB cache: block permute beats full permute.
+            assert k40[full] < k40[block]
+            assert phi[block] < phi[full]
+
+
+class TestFigure8b:
+    def test_fig8b_tuning(self, run_once, results_dir):
+        f = run_once(figure8b)
+        save_and_print(f, "figure8b", results_dir)
+        surface = {
+            (combo, bs): f.series[f"block={bs}"][i]
+            for i, combo in enumerate(FIG8B_COMBOS)
+            for bs in FIG8B_BLOCK_SIZES
+        }
+        best_combo, best_bs = min(surface, key=surface.get)
+        # Optimum at a middling split, not at either extreme.
+        assert best_combo not in ("1x240", "60x4")
+        # Preferred block size grows with the process count.
+        def best_block(combo):
+            return min(FIG8B_BLOCK_SIZES,
+                       key=lambda bs: surface[(combo, bs)])
+        assert best_block("1x240") <= best_block("12x20") <= best_block(
+            "60x4"
+        )
+        # Total spread matches the paper's 25-40s range shape (~1.5x).
+        vals = list(surface.values())
+        assert 1.15 < max(vals) / min(vals) < 2.0
+
+
+class TestFigure9:
+    def test_fig9_best(self, run_once, results_dir):
+        f = run_once(figure9)
+        save_and_print(f, "figure9", results_dir)
+        for case in f.x:
+            cpu1 = _case(f, "CPU 1", case)
+            cpu2 = _case(f, "CPU 2", case)
+            phi = _case(f, "Xeon Phi", case)
+            k40 = _case(f, "K40", case)
+            # K40 2.5-3x CPU 1 (give the band some slack).
+            assert 2.2 <= cpu1 / k40 <= 3.4, (case, cpu1 / k40)
+            # Phi comparable to the mid-range dual-socket CPU 1.
+            assert 0.75 <= cpu1 / phi <= 1.35, (case, cpu1 / phi)
+            # CPU 2 is 40-80% faster than CPU 1.
+            assert 1.3 <= cpu1 / cpu2 <= 1.9, (case, cpu1 / cpu2)
+            # K40 ~2.5x the Phi.
+            assert 1.9 <= phi / k40 <= 3.4, (case, phi / k40)

@@ -1,0 +1,75 @@
+"""Benchmarks regenerating Tables I-IV (specs, kernel properties, meshes).
+
+These tables derive from specifications and the OP2-style API itself;
+the assertions check our derived values against the published ones.
+"""
+
+import pytest
+
+from repro.bench.tables import table1, table2, table3, table4
+from repro.bench import paper_data
+
+from conftest import save_and_print
+
+
+class TestTable1:
+    def test_table1_machines(self, run_once, results_dir):
+        t = run_once(table1)
+        save_and_print(t, "table1", results_dir)
+        assert len(t.rows) == 4
+        phi = t.row_for("System", "Xeon Phi")
+        assert phi["Stream BW (GB/s)"] == 171.0
+        k40 = t.row_for("System", "K40")
+        assert k40["Cores"] == 2880
+
+
+class TestTable2:
+    def test_table2_airfoil_kernels(self, run_once, results_dir):
+        t = run_once(table2)
+        save_and_print(t, "table2", results_dir)
+        # Transfer counts derived from the API must match the paper
+        # exactly — they are the same accounting.
+        for row in t.rows:
+            name = row["Kernel"]
+            pap = paper_data.TABLE2_AIRFOIL[name]
+            assert row["DirRd"] == pap[0], name
+            assert row["DirWr"] == pap[1], name
+            assert row["IndRd"] == pap[2], name
+            assert row["IndWr"] == pap[3], name
+            assert row["FLOP"] == pap[4], name
+            # FLOP/byte within rounding of the paper's figure.
+            assert row["F/B"] == pytest.approx(pap[5], abs=0.12), name
+
+
+class TestTable3:
+    def test_table3_volna_kernels(self, run_once, results_dir):
+        t = run_once(table3)
+        save_and_print(t, "table3", results_dir)
+        for row in t.rows:
+            name = row["Kernel"]
+            pap = paper_data.TABLE3_VOLNA[name]
+            # Volna is a reimplementation from the paper's description:
+            # totals must land close, signatures need not be identical.
+            ours = row["DirRd"] + row["DirWr"] + row["IndRd"] + row["IndWr"]
+            theirs = sum(pap[:4])
+            # space_disc carries +8 values: our well-balanced bed-slope
+            # correction rereads both cell states (EXPERIMENTS.md S3).
+            budget = 8 if name == "space_disc" else 6
+            assert abs(ours - theirs) <= budget, name
+            assert row["FLOP"] == pap[4], name
+        flux = t.row_for("Kernel", "compute_flux")
+        assert flux["IndRd"] == 8  # gathers both cell states
+
+
+class TestTable4:
+    def test_table4_meshes(self, run_once, results_dir):
+        t = run_once(table4)
+        save_and_print(t, "table4", results_dir)
+        for row in t.rows:
+            for col in ("cells", "nodes", "edges"):
+                ours = row[col]
+                paper = row[f"paper {col}"]
+                assert abs(ours - paper) / paper < 0.002, (row["Mesh"], col)
+            # Data-only footprint sits just below the paper figure
+            # (which includes an int32 connectivity map).
+            assert row["data MB"] < row["paper MB"] <= row["data MB"] * 1.35

@@ -1,0 +1,154 @@
+"""Benchmarks regenerating Tables V-IX (per-kernel performance model).
+
+Assertions check the *shape* the paper reports: per-kernel model values
+within a tolerance band of the published measurements, bottleneck
+classifications, and the relative-performance orderings of Table IX.
+"""
+
+import pytest
+
+from repro.bench import paper_data
+from repro.bench.tables import table5, table6, table7, table8, table9
+
+from conftest import save_and_print
+
+
+def _rows_for(t, **filters):
+    out = []
+    for r in t.rows:
+        if all(r.get(k) == v for k, v in filters.items()):
+            out.append(r)
+    return out
+
+
+#: Rows excluded from strict banding, with reasons (EXPERIMENTS.md S3):
+#: - bres_calc: sub-0.1 s runtime, the paper itself drops it from analysis;
+#: - the paper's Volna rows outside the "MPI CPU 1" column are internally
+#:   inconsistent with its own CPU 1 column (4.5-5.8x gaps on bandwidth-
+#:   bound kernels vs a 1.48x hardware bandwidth ratio — evidently a
+#:   different iteration count), so no self-consistent model can match
+#:   both; we calibrate against the CPU 1 / Phi / K40 columns;
+#: - space_disc on the K40: our space_disc reads the cell states for the
+#:   well-balanced bed-slope term, moving ~2x the paper variant's data.
+VOLNA_KERNELS = {"RK_1", "RK_2", "sim_1", "compute_flux",
+                 "numerical_flux", "space_disc"}
+
+
+def _excluded(row) -> bool:
+    kernel = row["Kernel"]
+    if kernel == "bres_calc":
+        return True
+    group = row.get("Config") or row.get("Device") or row.get("Version")
+    if kernel in VOLNA_KERNELS and group in ("MPI CPU 2", "CPU 1", "CPU 2",
+                                             "Xeon Phi"):
+        # Volna columns with the paper-internal iteration inconsistency
+        # (Table V CPU 2, Table VI both devices, Table VII).
+        return True
+    if kernel == "space_disc" and group == "CUDA K40":
+        return True
+    return False
+
+
+def _check_band(rows, rel=0.6, min_frac=0.8, time_col="time s",
+                paper_col="paper t", exclude=True):
+    """At least ``min_frac`` of rows within ``rel`` of the paper value."""
+    checked, ok = 0, 0
+    for r in rows:
+        if r.get(paper_col) in (None, ""):
+            continue
+        if exclude and _excluded(r):
+            continue
+        checked += 1
+        ratio = r[time_col] / r[paper_col]
+        if 1.0 / (1.0 + rel) <= ratio <= 1.0 + rel:
+            ok += 1
+    assert checked > 0
+    assert ok / checked >= min_frac, f"only {ok}/{checked} rows in band"
+
+
+class TestTable5:
+    def test_table5_baseline(self, run_once, results_dir):
+        t = run_once(table5)
+        save_and_print(t, "table5", results_dir)
+        _check_band(t.rows, rel=0.6)
+        # adt_calc / compute_flux are compute-bound scalar on CPU 1.
+        adt = _rows_for(t, Config="MPI CPU 1", Kernel="adt_calc")[0]
+        assert adt["bound"] == "compute"
+        flux = _rows_for(t, Config="MPI CPU 1", Kernel="compute_flux")[0]
+        assert flux["bound"] == "compute"
+        # Direct kernels are bandwidth-bound everywhere.
+        for cfgname in ("MPI CPU 1", "MPI CPU 2", "CUDA K40"):
+            save = _rows_for(t, Config=cfgname, Kernel="save_soln")[0]
+            assert save["bound"] == "bandwidth"
+
+
+class TestTable6:
+    def test_table6_opencl(self, run_once, results_dir):
+        t = run_once(table6)
+        save_and_print(t, "table6", results_dir)
+        _check_band(t.rows, rel=0.7)
+        # Vectorization flags must match the paper's compiler report.
+        for r in t.rows:
+            if r["Device"] == "CPU 1" and r["Kernel"] in (
+                "save_soln", "res_calc", "update"
+            ):
+                assert not r["vectorized"], r["Kernel"]
+            if r["Device"] == "Xeon Phi":
+                assert r["vectorized"], r["Kernel"]
+
+
+class TestTable7:
+    def test_table7_vectorized(self, run_once, results_dir):
+        t = run_once(table7)
+        save_and_print(t, "table7", results_dir)
+        _check_band(t.rows, rel=0.6)
+        # Vectorization removed the compute bottleneck: adt_calc becomes
+        # bandwidth-bound on CPU 2 (Section 6.6).
+        adt2 = _rows_for(t, Device="CPU 2", Kernel="adt_calc")[0]
+        assert adt2["bound"] == "bandwidth"
+        # CPU 2 beats CPU 1 on every kernel.
+        for kernel in ("save_soln", "adt_calc", "res_calc", "update"):
+            t1 = _rows_for(t, Device="CPU 1", Kernel=kernel)[0]["time s"]
+            t2 = _rows_for(t, Device="CPU 2", Kernel=kernel)[0]["time s"]
+            assert t2 < t1
+
+
+class TestTable8:
+    def test_table8_phi(self, run_once, results_dir):
+        t = run_once(table8)
+        save_and_print(t, "table8", results_dir)
+        _check_band(t.rows, rel=0.7)
+        for kernel in ("adt_calc", "res_calc", "compute_flux",
+                       "space_disc"):
+            scalar = _rows_for(t, Version="Scalar", Kernel=kernel)[0]
+            intr = _rows_for(t, Version="Intrinsics", Kernel=kernel)[0]
+            auto = _rows_for(t, Version="Auto-vectorized", Kernel=kernel)[0]
+            # Intrinsics clearly beat scalar on indirect kernels (2-4x).
+            assert intr["time s"] < 0.65 * scalar["time s"], kernel
+            # Auto-vectorization never approaches intrinsics quality.
+            assert auto["time s"] > intr["time s"], kernel
+        # The scatter kernel gets *worse* under auto-vectorization.
+        res_auto = _rows_for(t, Version="Auto-vectorized",
+                             Kernel="res_calc")[0]
+        res_scalar = _rows_for(t, Version="Scalar", Kernel="res_calc")[0]
+        assert res_auto["time s"] > res_scalar["time s"]
+
+
+class TestTable9:
+    def test_table9_relative(self, run_once, results_dir):
+        t = run_once(table9)
+        save_and_print(t, "table9", results_dir)
+        for row in t.rows:
+            kernel = row["Kernel"]
+            # Direct kernels: ranking CPU1 < CPU2 < Phi < K40 (paper).
+            if kernel in ("save_soln", "update", "RK_1", "RK_2"):
+                assert row["K40"] > row["Xeon Phi"] > row["CPU 2"] > 1.0
+            # Scatter kernels: the Phi falls *below* CPU 1 (paper: 0.75-
+            # 0.81), while the K40 keeps a reduced lead.
+            if kernel in ("res_calc", "space_disc"):
+                assert row["Xeon Phi"] < 1.3
+                assert row["K40"] < 2.6
+            # Model ratio within a factor-2 band of the paper's ratio.
+            for col in ("CPU 2", "Xeon Phi", "K40"):
+                paper = row[f"paper {col}"]
+                assert 0.5 <= row[col] / paper <= 2.0, (kernel, col)

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Quickstart: the OP2-style API in ~60 lines.
+
+Builds a tiny unstructured problem (a ring of edges over nodes), declares
+data and connectivity, and runs one indirect parallel loop — the
+sparse-matrix-vector pattern of the paper's Fig 1b — on several backends,
+showing they agree bit-for-bit-tolerantly.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    INC,
+    READ,
+    Dat,
+    Map,
+    Runtime,
+    Set,
+    arg_dat,
+    kernel,
+    par_loop,
+)
+
+# 1. Sets: the mesh is just named sizes.
+N = 1000
+nodes = Set(N, "nodes")
+edges = Set(N, "edges")
+
+# 2. Connectivity: each edge links node i to node i+1 (a ring).
+conn = np.stack([np.arange(N), (np.arange(N) + 1) % N], axis=1)
+edge2node = Map(edges, nodes, 2, conn, "edge2node")
+
+# 3. Data on sets.
+rng = np.random.default_rng(7)
+weights = Dat(edges, 1, rng.random(N), name="weights")
+result = Dat(nodes, 1, name="result")
+
+
+# 4. An elementary kernel: scalar form (per element) and vector form
+#    (per batch of elements) — the paper's user kernel + intrinsics pair.
+@kernel("spmv_edge", flops=4, description="SpMV over edges")
+def spmv_edge(w, r0, r1):
+    r0[0] += w[0]
+    r1[0] += 2.0 * w[0]
+
+
+@spmv_edge.vectorized
+def spmv_edge_vec(w, r0, r1):
+    r0[:, 0] += w[:, 0]
+    r1[:, 0] += 2.0 * w[:, 0]
+
+
+def run(backend: str, scheme: str = "two_level") -> np.ndarray:
+    result.zero()
+    rt = Runtime(backend=backend, scheme=scheme, block_size=128)
+    # 5. The parallel loop: accesses declared, races handled for you.
+    par_loop(
+        spmv_edge, edges,
+        arg_dat(weights, -1, None, READ),   # direct read
+        arg_dat(result, 0, edge2node, INC),  # indirect increment, slot 0
+        arg_dat(result, 1, edge2node, INC),  # indirect increment, slot 1
+        runtime=rt,
+    )
+    return result.data.copy()
+
+
+if __name__ == "__main__":
+    reference = run("sequential")
+    print(f"sequential   result[:4] = {reference[:4].ravel().round(4)}")
+    for backend, scheme in [
+        ("vectorized", "two_level"),
+        ("vectorized", "full_permute"),
+        ("simt", "two_level"),
+        ("autovec", "block_permute"),
+    ]:
+        out = run(backend, scheme)
+        ok = np.allclose(out, reference)
+        print(f"{backend:11s} ({scheme:13s}) matches sequential: {ok}")
+        assert ok
+    print("\nAll backends agree — the coloring machinery made the "
+          "indirect increments race-free on every execution strategy.")

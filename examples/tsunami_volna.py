@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Volna: shallow-water tsunami simulation on a synthetic coast.
+
+A Gaussian hump of water (the tsunami source) is released over a 3 km
+deep basin; the wave crosses the continental slope, shoals on the shelf,
+and funnels into the bay channel — the flow regimes of the paper's
+Vancouver-coast scenario.  Prints wave-front diagnostics and an ASCII
+map of the free surface.
+
+Run:  python examples/tsunami_volna.py [nx] [ny] [minutes]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.apps.volna import CoastalScenario, VolnaSim
+from repro.core import Runtime
+from repro.mesh import make_tri_mesh
+
+
+def ascii_eta_map(sim: VolnaSim, cols: int = 64, rows: int = 20) -> str:
+    """Coarse raster of the free-surface elevation."""
+    scen = sim.scenario
+    cent = sim.mesh.cell_centroids()
+    eta = sim.q[:, 0] + sim.q[:, 3]
+    gx = np.minimum((cent[:, 0] / scen.extent_x * cols).astype(int), cols - 1)
+    gy = np.minimum((cent[:, 1] / scen.extent_y * rows).astype(int), rows - 1)
+    acc = np.zeros((rows, cols))
+    cnt = np.zeros((rows, cols))
+    np.add.at(acc, (gy, gx), eta)
+    np.add.at(cnt, (gy, gx), 1)
+    avg = np.divide(acc, cnt, out=np.zeros_like(acc), where=cnt > 0)
+    scale = max(1e-6, np.abs(avg).max())
+    chars = " .:-=+*#%@"
+    lines = []
+    for r in range(rows - 1, -1, -1):
+        line = ""
+        for c in range(cols):
+            level = int(min(abs(avg[r, c]) / scale, 0.999) * len(chars))
+            ch = chars[level]
+            line += ch.lower() if avg[r, c] >= 0 else "~"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def main() -> None:
+    nx = int(sys.argv[1]) if len(sys.argv) > 1 else 48
+    ny = int(sys.argv[2]) if len(sys.argv) > 2 else 36
+    minutes = float(sys.argv[3]) if len(sys.argv) > 3 else 8.0
+
+    scen = CoastalScenario()
+    mesh = make_tri_mesh(nx, ny, scen.extent_x, scen.extent_y)
+    sim = VolnaSim(mesh, dtype=np.float64,
+                   runtime=Runtime("vectorized", block_size=256),
+                   scenario=scen)
+    print(f"mesh: {mesh.summary()}")
+    print(f"source: {scen.source_amplitude} m hump, "
+          f"{scen.source_radius / 1000:.0f} km radius, over "
+          f"{scen.ocean_depth:.0f} m of water")
+    c = np.sqrt(9.81 * scen.ocean_depth)
+    print(f"deep-water wave speed sqrt(g*H) = {c:.0f} m/s\n")
+
+    mass0 = sim.total_mass()
+    cent = mesh.cell_centroids()
+    coast = cent[:, 0] > 0.85 * scen.extent_x
+
+    target = minutes * 60.0
+    next_report = 0.0
+    while sim.time < target:
+        sim.step()
+        if sim.time >= next_report:
+            eta = sim.q[:, 0] + sim.q[:, 3]
+            print(
+                f"t={sim.time / 60:5.1f} min  peak eta={eta.max():6.3f} m  "
+                f"coastal eta={eta[coast].max():6.3f} m  "
+                f"dt={sim.dt_history[-1]:5.2f} s"
+            )
+            next_report += target / 8
+    print(f"\n{sim.steps_run} steps, simulated {sim.time / 60:.1f} min")
+    drift = abs(sim.total_mass() - mass0) / mass0
+    print(f"mass conservation drift: {drift:.2e} (machine precision)")
+
+    print("\nfree-surface map (ocean left, coast right; ~ = drawdown):")
+    print(ascii_eta_map(sim))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Explicit SIMD programming with VecReg — the paper's Fig 3b by hand.
+
+Walks through the exact gather / vector-compute / serialized-scatter
+pipeline the OP2 code generator emits for AVX/IMCI, using the VecReg
+register emulation: indirection indices load into integer vectors,
+indirect data gathers into packed registers, arithmetic runs on whole
+registers, a branch becomes select(), and increments scatter out
+serialized.  A scalar loop validates every step.
+
+Run:  python examples/vector_registers.py
+"""
+
+import numpy as np
+
+from repro.simd import IntVec, VecReg, select, vector_width, vsqrt
+
+VEC = vector_width("avx", np.float64)  # 4 doubles per 256-bit register
+N_EDGES = 10
+N_NODES = 10
+
+rng = np.random.default_rng(3)
+edge2node = np.stack(
+    [np.arange(N_EDGES), (np.arange(N_EDGES) + 1) % N_NODES], axis=1
+)
+weights = rng.random(N_EDGES)
+values = rng.random(N_NODES) + 0.5
+
+
+def scalar_reference():
+    """The user kernel as plain per-element code (with a branch)."""
+    acc = np.zeros(N_NODES)
+    for e in range(N_EDGES):
+        n0, n1 = edge2node[e]
+        v = np.sqrt(values[n0] * values[n1])
+        f = weights[e] * v if v > 1.0 else -weights[e] * v
+        acc[n0] += f
+        acc[n1] -= f
+    return acc
+
+
+def vectorized():
+    """The same kernel, written the way the paper's generator emits it."""
+    acc = np.zeros(N_NODES)
+    main = (N_EDGES // VEC) * VEC
+
+    for base in range(0, main, VEC):
+        # -- load indirection indices into integer vectors ------------
+        idx0 = IntVec.load(edge2node[:, 0], base, VEC)
+        idx1 = IntVec.load(edge2node[:, 1], base, VEC)
+
+        # -- gather indirect data into packed registers ----------------
+        v0 = VecReg.gather(values, idx0)
+        v1 = VecReg.gather(values, idx1)
+        w = VecReg.load(weights, base, VEC)  # aligned direct load
+
+        # -- vector arithmetic; the branch becomes select() ------------
+        v = vsqrt(v0 * v1)
+        f = select(v > 1.0, w * v, -w * v)
+
+        # -- serialized scatter of increments (np.add.at semantics) ----
+        f.scatter_add(acc, idx0)
+        (-f).scatter_add(acc, idx1)
+
+    # -- scalar post-sweep for the remainder (ranges rarely divide VEC)
+    for e in range(main, N_EDGES):
+        n0, n1 = edge2node[e]
+        v = np.sqrt(values[n0] * values[n1])
+        f = weights[e] * v if v > 1.0 else -weights[e] * v
+        acc[n0] += f
+        acc[n1] -= f
+    return acc
+
+
+if __name__ == "__main__":
+    ref = scalar_reference()
+    got = vectorized()
+    print(f"vector width: {VEC} doubles (AVX)")
+    print(f"scalar    : {ref.round(5)}")
+    print(f"vectorized: {got.round(5)}")
+    assert np.allclose(ref, got)
+    print("\npipeline stages exercised: indexed load -> mapped gather -> "
+          "register arithmetic -> select() -> serialized scatter-add -> "
+          "scalar remainder sweep")
+
+    # Bonus: masked stores, the other IMCI facility the paper leans on.
+    buf = np.zeros(VEC)
+    reg = VecReg(np.arange(1.0, VEC + 1))
+    mask = reg > 2.0
+    reg.store_masked(buf, 0, mask)
+    print(f"masked store of {reg.lanes} where >2: {buf}")

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+This environment has no ``wheel`` package (offline), so pip cannot take
+the PEP 660 editable route; with no ``[build-system]`` table in
+pyproject.toml and this file present, ``pip install -e .`` falls back to
+``setup.py develop``, which works everywhere.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,1 @@
+"""Applications: the paper's two benchmark codes (Airfoil and Volna)."""

@@ -1,0 +1,43 @@
+"""Airfoil flow constants (the OP2 benchmark's ``op_decl_const`` values).
+
+Non-linear 2-D inviscid flow around an airfoil at Mach 0.4, 3 degrees
+angle of attack, with Lax-Friedrichs-style artificial dissipation —
+matching Giles et al.'s original benchmark setup.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class AirfoilConstants:
+    """Immutable flow/scheme constants broadcast to every kernel."""
+
+    gam: float = 1.4          # ratio of specific heats
+    cfl: float = 0.9          # CFL number for local timestepping
+    eps: float = 0.05         # artificial-dissipation coefficient
+    mach: float = 0.4         # free-stream Mach number
+    alpha_deg: float = 3.0    # angle of attack (degrees)
+
+    @property
+    def gm1(self) -> float:
+        return self.gam - 1.0
+
+    def qinf(self, dtype=np.float64) -> np.ndarray:
+        """Free-stream conservative state (rho, rho*u, rho*v, rho*E)."""
+        alpha = math.radians(self.alpha_deg)
+        p = 1.0
+        r = 1.0
+        u = math.sqrt(self.gam * p / r) * self.mach
+        e = p / (r * self.gm1) + 0.5 * u * u
+        return np.array(
+            [r, r * u * math.cos(alpha), r * u * math.sin(alpha), r * e],
+            dtype=dtype,
+        )
+
+
+DEFAULT_CONSTANTS = AirfoilConstants()

@@ -1,0 +1,132 @@
+"""Independent whole-array reference implementation of one Airfoil sweep.
+
+Deliberately bypasses the OP2-like machinery (no Args, no plans, no
+backends): plain NumPy over global arrays with ``np.add.at`` for the edge
+scatters.  Tests compare it bit-for-bit-tolerantly against every backend,
+so a bug in the DSL pipeline and a bug in the kernels cannot mask each
+other.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ...mesh import UnstructuredMesh
+from .constants import AirfoilConstants, DEFAULT_CONSTANTS
+
+
+def reference_sweep(
+    mesh: UnstructuredMesh,
+    q: np.ndarray,
+    const: AirfoilConstants = DEFAULT_CONSTANTS,
+) -> Dict[str, np.ndarray]:
+    """One full iteration (save + 2 RK sweeps) on state ``q``.
+
+    Returns ``{"q": new_state, "rms": rms_scalar, "adt": ..., "res": ...}``.
+    """
+    gam, gm1, cfl, eps = const.gam, const.gm1, const.cfl, const.eps
+    qinf = const.qinf(q.dtype)
+    x = mesh.coords.astype(q.dtype)
+    c2n = mesh.map("cell2node").values
+    e2n = mesh.map("edge2node").values
+    e2c = mesh.map("edge2cell").values
+    b2n = mesh.map("bedge2node").values
+    b2c = mesh.map("bedge2cell").values[:, 0]
+    bound = mesh.meta["bound"]
+
+    q = q.copy()
+    qold = q.copy()
+    res = np.zeros_like(q)
+    rms = 0.0
+
+    for _ in range(2):
+        # adt_calc
+        ri = 1.0 / q[:, 0]
+        u = ri * q[:, 1]
+        v = ri * q[:, 2]
+        c = np.sqrt(gam * gm1 * (ri * q[:, 3] - 0.5 * (u * u + v * v)))
+        xc = x[c2n]  # (cells, 4, 2)
+        acc = np.zeros_like(ri)
+        for k in range(4):
+            dx = xc[:, (k + 1) % 4, 0] - xc[:, k, 0]
+            dy = xc[:, (k + 1) % 4, 1] - xc[:, k, 1]
+            acc += np.abs(u * dy - v * dx) + c * np.sqrt(dx * dx + dy * dy)
+        adt = acc / cfl
+
+        # res_calc
+        x1 = x[e2n[:, 0]]
+        x2 = x[e2n[:, 1]]
+        q1 = q[e2c[:, 0]]
+        q2 = q[e2c[:, 1]]
+        dx = x1[:, 0] - x2[:, 0]
+        dy = x1[:, 1] - x2[:, 1]
+        ri1 = 1.0 / q1[:, 0]
+        p1 = gm1 * (q1[:, 3] - 0.5 * ri1 * (q1[:, 1] ** 2 + q1[:, 2] ** 2))
+        vol1 = ri1 * (q1[:, 1] * dy - q1[:, 2] * dx)
+        ri2 = 1.0 / q2[:, 0]
+        p2 = gm1 * (q2[:, 3] - 0.5 * ri2 * (q2[:, 1] ** 2 + q2[:, 2] ** 2))
+        vol2 = ri2 * (q2[:, 1] * dy - q2[:, 2] * dx)
+        mu = 0.5 * (adt[e2c[:, 0]] + adt[e2c[:, 1]]) * eps
+        f = np.empty_like(q1)
+        f[:, 0] = 0.5 * (vol1 * q1[:, 0] + vol2 * q2[:, 0]) + mu * (
+            q1[:, 0] - q2[:, 0]
+        )
+        f[:, 1] = 0.5 * (
+            vol1 * q1[:, 1] + p1 * dy + vol2 * q2[:, 1] + p2 * dy
+        ) + mu * (q1[:, 1] - q2[:, 1])
+        f[:, 2] = 0.5 * (
+            vol1 * q1[:, 2] - p1 * dx + vol2 * q2[:, 2] - p2 * dx
+        ) + mu * (q1[:, 2] - q2[:, 2])
+        f[:, 3] = 0.5 * (vol1 * (q1[:, 3] + p1) + vol2 * (q2[:, 3] + p2)) + mu * (
+            q1[:, 3] - q2[:, 3]
+        )
+        np.add.at(res, e2c[:, 0], f)
+        np.add.at(res, e2c[:, 1], -f)
+
+        # bres_calc
+        bx1 = x[b2n[:, 0]]
+        bx2 = x[b2n[:, 1]]
+        bq = q[b2c]
+        dx = bx1[:, 0] - bx2[:, 0]
+        dy = bx1[:, 1] - bx2[:, 1]
+        ri = 1.0 / bq[:, 0]
+        p1 = gm1 * (bq[:, 3] - 0.5 * ri * (bq[:, 1] ** 2 + bq[:, 2] ** 2))
+        wall = bound == 1
+        vol1 = ri * (bq[:, 1] * dy - bq[:, 2] * dx)
+        ri2 = 1.0 / qinf[0]
+        p2 = gm1 * (qinf[3] - 0.5 * ri2 * (qinf[1] ** 2 + qinf[2] ** 2))
+        vol2 = ri2 * (qinf[1] * dy - qinf[2] * dx)
+        mu = adt[b2c] * eps
+        bf = np.empty_like(bq)
+        bf[:, 0] = 0.5 * (vol1 * bq[:, 0] + vol2 * qinf[0]) + mu * (
+            bq[:, 0] - qinf[0]
+        )
+        bf[:, 1] = 0.5 * (
+            vol1 * bq[:, 1] + p1 * dy + vol2 * qinf[1] + p2 * dy
+        ) + mu * (bq[:, 1] - qinf[1])
+        bf[:, 2] = 0.5 * (
+            vol1 * bq[:, 2] - p1 * dx + vol2 * qinf[2] - p2 * dx
+        ) + mu * (bq[:, 2] - qinf[2])
+        bf[:, 3] = 0.5 * (vol1 * (bq[:, 3] + p1) + vol2 * (qinf[3] + p2)) + mu * (
+            bq[:, 3] - qinf[3]
+        )
+        bf[wall, 0] = 0.0
+        bf[wall, 1] = (p1 * dy)[wall]
+        bf[wall, 2] = (-p1 * dx)[wall]
+        bf[wall, 3] = 0.0
+        np.add.at(res, b2c, bf)
+
+        # update
+        delta = res / adt[:, None]
+        q = qold - delta
+        res[:] = 0.0
+        rms += float((delta * delta).sum())
+
+    return {
+        "q": q,
+        "rms": float(np.sqrt(rms / mesh.cells.size)),
+        "adt": adt,
+        "res": res,
+    }

@@ -1,0 +1,19 @@
+"""Volna: shallow-water tsunami simulation (paper Section 6, Table III)."""
+
+from .bathymetry import DEFAULT_SCENARIO, CoastalScenario, bathymetry, initial_state
+from .driver import VolnaSim, cell_areas, edge_geometry
+from .kernels import CFL, DRY_EPS, GRAVITY, make_kernels
+
+__all__ = [
+    "CFL",
+    "CoastalScenario",
+    "DEFAULT_SCENARIO",
+    "DRY_EPS",
+    "GRAVITY",
+    "VolnaSim",
+    "bathymetry",
+    "cell_areas",
+    "edge_geometry",
+    "initial_state",
+    "make_kernels",
+]

@@ -1,0 +1,102 @@
+"""Synthetic coastal bathymetry and tsunami initial conditions.
+
+The paper's Volna run uses a real 2.5M-cell mesh of the north-western
+American coast with a hypothetical Pacific tsunami.  We do not have that
+proprietary mesh, so this module builds the closest synthetic equivalent:
+a deep-ocean basin sloping up a continental shelf to a shallow coast with
+a bay indentation (the "strait"), and a Gaussian free-surface hump
+offshore as the tsunami source.  The flow regimes the kernels exercise —
+deep-water propagation, shoaling on the shelf, reflection at the coast —
+are all present.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CoastalScenario:
+    """Parameters of the synthetic coastal basin (SI units: metres).
+
+    The domain is ``[0, extent_x] x [0, extent_y]`` with the open ocean at
+    ``x = 0`` and the coastline near ``x = extent_x``.
+    """
+
+    extent_x: float = 100_000.0
+    extent_y: float = 75_000.0
+    ocean_depth: float = 3000.0    # abyssal depth (m)
+    shelf_depth: float = 120.0     # shelf depth after the slope (m)
+    coast_depth: float = 5.0       # minimum wet depth at the coast (m)
+    shelf_start: float = 0.45      # slope begins (fraction of extent_x)
+    shelf_end: float = 0.7         # slope ends
+    bay_center: float = 0.5        # bay position (fraction of extent_y)
+    bay_width: float = 0.15        # bay half-width (fraction)
+    bay_depth_boost: float = 60.0  # extra depth in the bay channel (m)
+
+    # Tsunami source (Gaussian hump of the free surface).
+    source_x: float = 0.2          # fraction of extent_x
+    source_y: float = 0.5          # fraction of extent_y
+    source_amplitude: float = 2.0  # m
+    source_radius: float = 8_000.0  # m
+
+
+DEFAULT_SCENARIO = CoastalScenario()
+
+
+def bathymetry(
+    xy: np.ndarray, scen: CoastalScenario = DEFAULT_SCENARIO
+) -> np.ndarray:
+    """Bed elevation ``zb(x, y)`` (negative below sea level).
+
+    Piecewise-smooth: deep basin, tanh continental slope, gently shoaling
+    shelf, with a deeper channel ("strait") cut through the shelf at the
+    bay latitude.
+    """
+    xy = np.asarray(xy, dtype=np.float64)
+    xf = xy[..., 0] / scen.extent_x
+    yf = xy[..., 1] / scen.extent_y
+
+    # Smooth ramp from ocean depth to shelf depth across the slope.
+    s = np.clip(
+        (xf - scen.shelf_start) / max(scen.shelf_end - scen.shelf_start, 1e-9),
+        0.0,
+        1.0,
+    )
+    ramp = 0.5 * (1.0 - np.cos(np.pi * s))  # C1 smooth 0 -> 1
+    depth = scen.ocean_depth + (scen.shelf_depth - scen.ocean_depth) * ramp
+
+    # Shelf shoals linearly toward the minimum coastal depth.
+    shoal = np.clip((xf - scen.shelf_end) / max(1.0 - scen.shelf_end, 1e-9),
+                    0.0, 1.0)
+    depth = depth + (scen.coast_depth - scen.shelf_depth) * shoal * (s >= 1.0)
+
+    # The bay channel keeps a deeper corridor through the shelf.
+    bay = np.exp(-0.5 * ((yf - scen.bay_center) / scen.bay_width) ** 2)
+    depth = depth + scen.bay_depth_boost * bay * ramp
+
+    return -depth
+
+
+def initial_state(
+    xy: np.ndarray,
+    scen: CoastalScenario = DEFAULT_SCENARIO,
+    dtype=np.float64,
+) -> np.ndarray:
+    """Initial ``(h, hu, hv, zb)`` per point: lake at rest + tsunami hump."""
+    xy = np.asarray(xy, dtype=np.float64)
+    zb = bathymetry(xy, scen)
+    eta = scen.source_amplitude * np.exp(
+        -(
+            (xy[..., 0] - scen.source_x * scen.extent_x) ** 2
+            + (xy[..., 1] - scen.source_y * scen.extent_y) ** 2
+        )
+        / (2.0 * scen.source_radius**2)
+    )
+    h = np.maximum(eta - zb, 0.0)
+    out = np.zeros(xy.shape[:-1] + (4,), dtype=dtype)
+    out[..., 0] = h
+    out[..., 3] = zb
+    return out

@@ -1,0 +1,309 @@
+"""The six Volna kernels (paper Table III) in scalar and vector form.
+
+Volna solves the non-linear shallow-water equations with a finite-volume
+HLL scheme and SSP-RK2 time stepping.  Per paper Table III the kernels
+are:
+
+=================  ==========================================================
+``compute_flux``   edge loop: gather left/right cell states, hydrostatic
+                   reconstruction, rotated HLL Riemann flux, wave speeds
+                   (direct write); the transcendental-heavy kernel
+``numerical_flux`` cell loop: gather per-edge wave speeds, CFL time-step
+                   MIN-reduction, zero the RHS accumulator (direct write)
+``space_disc``     edge loop: scatter flux divergence + bed-slope
+                   correction into both cells (colored INC)
+``RK_1``           direct: stage-1 state ``q + dt*L``, state backup
+``RK_2``           direct: SSP-RK2 combine ``(q_old + q_mid + dt*L)/2``
+``sim_1``          direct copy (output snapshot)
+=================  ==========================================================
+
+All conditionals (dry states, wall mirroring, HLL upwind cases) use
+``select()`` in both forms so scalar and vector agree bitwise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...core.kernel import Kernel, KernelInfo
+from ...simd import select, vmax, vmin
+
+#: Gravitational acceleration (m/s^2) and dry-state depth tolerance (m).
+GRAVITY = 9.81
+DRY_EPS = 1e-6
+#: CFL number of the explicit scheme.
+CFL = 0.45
+
+
+def _hll_flux(hL, unL, utL, hR, unR, utR, g):
+    """Rotated-frame HLL flux for the shallow-water system.
+
+    Operates on scalars or arrays (the select/vmin/vmax intrinsics are
+    polymorphic).  Returns ``(F_h, F_un, F_ut, smax)``.
+    """
+    cL = np.sqrt(g * hL)
+    cR = np.sqrt(g * hR)
+    sL = vmin(unL - cL, unR - cR)
+    sR = vmax(unL + cL, unR + cR)
+
+    fL_h = hL * unL
+    fL_un = hL * unL * unL + 0.5 * g * hL * hL
+    fL_ut = hL * unL * utL
+    fR_h = hR * unR
+    fR_un = hR * unR * unR + 0.5 * g * hR * hR
+    fR_ut = hR * unR * utR
+
+    denom = sR - sL
+    safe = np.abs(denom) > DRY_EPS
+    inv = 1.0 / select(safe, denom, 1.0)
+    fM_h = (sR * fL_h - sL * fR_h + sL * sR * (hR - hL)) * inv
+    fM_un = (sR * fL_un - sL * fR_un + sL * sR * (hR * unR - hL * unL)) * inv
+    fM_ut = (sR * fL_ut - sL * fR_ut + sL * sR * (hR * utR - hL * utL)) * inv
+
+    f_h = select(sL >= 0.0, fL_h, select(sR <= 0.0, fR_h, fM_h))
+    f_un = select(sL >= 0.0, fL_un, select(sR <= 0.0, fR_un, fM_un))
+    f_ut = select(sL >= 0.0, fL_ut, select(sR <= 0.0, fR_ut, fM_ut))
+    f_h = select(safe, f_h, 0.0)
+    f_un = select(safe, f_un, 0.0)
+    f_ut = select(safe, f_ut, 0.0)
+    smax = vmax(np.abs(sL), np.abs(sR))
+    return f_h, f_un, f_ut, smax
+
+
+def _velocities(h, hu, hv):
+    """Depth-guarded primitive velocities."""
+    wet = h > DRY_EPS
+    hi = 1.0 / select(wet, h, 1.0)
+    u = select(wet, hu * hi, 0.0)
+    v = select(wet, hv * hi, 0.0)
+    return u, v
+
+
+def make_kernels(g: float = GRAVITY, cfl: float = CFL) -> dict:
+    """Build the Volna kernel set."""
+
+    # ------------------------------------------------------------------
+    # compute_flux — rotated HLL with hydrostatic reconstruction.
+    # geom = (nx, ny, length, bflag); flux = rotated-frame (F_h, F_un,
+    # F_ut, 0); speed = (smax, length).
+    # ------------------------------------------------------------------
+    def compute_flux(geom, q0, q1, flux, speed):
+        nx, ny, ln, bnd = geom[0], geom[1], geom[2], geom[3]
+        h0, hu0, hv0, zb0 = q0[0], q0[1], q0[2], q0[3]
+        h1, hu1, hv1, zb1 = q1[0], q1[1], q1[2], q1[3]
+
+        u0, v0 = _velocities(h0, hu0, hv0)
+        u1, v1 = _velocities(h1, hu1, hv1)
+        un0 = u0 * nx + v0 * ny
+        ut0 = -u0 * ny + v0 * nx
+        un1 = u1 * nx + v1 * ny
+        ut1 = -u1 * ny + v1 * nx
+
+        # Reflective wall: mirror the interior state (boundary edges map
+        # both slots to the interior cell, so state1 == state0 here).
+        is_wall = bnd > 0.5
+        un1 = select(is_wall, -un0, un1)
+        ut1 = select(is_wall, ut0, ut1)
+        h1r = select(is_wall, h0, h1)
+        zb1r = select(is_wall, zb0, zb1)
+
+        # Hydrostatic (Audusse) reconstruction for well-balancing.
+        zf = vmax(zb0, zb1r)
+        h0s = vmax(h0 + zb0 - zf, 0.0)
+        h1s = vmax(h1r + zb1r - zf, 0.0)
+
+        f_h, f_un, f_ut, smax = _hll_flux(h0s, un0, ut0, h1s, un1, ut1, g)
+        flux[0] = f_h
+        flux[1] = f_un
+        flux[2] = f_ut
+        flux[3] = 0.0
+        speed[0] = smax
+        speed[1] = ln
+
+    def compute_flux_vec(geom, q0, q1, flux, speed):
+        nx, ny = geom[:, 0], geom[:, 1]
+        ln, bnd = geom[:, 2], geom[:, 3]
+        h0, hu0, hv0, zb0 = q0[:, 0], q0[:, 1], q0[:, 2], q0[:, 3]
+        h1, hu1, hv1, zb1 = q1[:, 0], q1[:, 1], q1[:, 2], q1[:, 3]
+
+        u0, v0 = _velocities(h0, hu0, hv0)
+        u1, v1 = _velocities(h1, hu1, hv1)
+        un0 = u0 * nx + v0 * ny
+        ut0 = -u0 * ny + v0 * nx
+        un1 = u1 * nx + v1 * ny
+        ut1 = -u1 * ny + v1 * nx
+
+        is_wall = bnd > 0.5
+        un1 = select(is_wall, -un0, un1)
+        ut1 = select(is_wall, ut0, ut1)
+        h1r = select(is_wall, h0, h1)
+        zb1r = select(is_wall, zb0, zb1)
+
+        zf = vmax(zb0, zb1r)
+        h0s = vmax(h0 + zb0 - zf, 0.0)
+        h1s = vmax(h1r + zb1r - zf, 0.0)
+
+        f_h, f_un, f_ut, smax = _hll_flux(h0s, un0, ut0, h1s, un1, ut1, g)
+        flux[:, 0] = f_h
+        flux[:, 1] = f_un
+        flux[:, 2] = f_ut
+        flux[:, 3] = 0.0
+        speed[:, 0] = smax
+        speed[:, 1] = ln
+
+    # ------------------------------------------------------------------
+    # numerical_flux — CFL time step (global MIN) + zero the accumulator.
+    # speeds: (3, 2) gathered via cell2edge's vector argument.
+    # ------------------------------------------------------------------
+    def numerical_flux(vol, speeds, L, dt):
+        wave = (
+            speeds[0][0] * speeds[0][1]
+            + speeds[1][0] * speeds[1][1]
+            + speeds[2][0] * speeds[2][1]
+        )
+        local = cfl * 2.0 * vol[0] / select(wave > DRY_EPS, wave, DRY_EPS)
+        dt[0] = min(dt[0], local)
+        for n in range(4):
+            L[n] = 0.0
+
+    def numerical_flux_vec(vol, speeds, L, dt):
+        wave = (
+            speeds[:, 0, 0] * speeds[:, 0, 1]
+            + speeds[:, 1, 0] * speeds[:, 1, 1]
+            + speeds[:, 2, 0] * speeds[:, 2, 1]
+        )
+        local = cfl * 2.0 * vol[:, 0] / np.where(wave > DRY_EPS, wave, DRY_EPS)
+        dt[:, 0] = np.minimum(dt[:, 0], local)
+        L[:, :] = 0.0
+
+    # ------------------------------------------------------------------
+    # space_disc — flux divergence + per-side bed-slope correction.
+    # ------------------------------------------------------------------
+    def space_disc(flux, geom, q0, q1, vol0, vol1, L0, L1):
+        nx, ny, ln, bnd = geom[0], geom[1], geom[2], geom[3]
+        h0, zb0 = q0[0], q0[3]
+        h1, zb1 = q1[0], q1[3]
+
+        zf = max(zb0, zb1)
+        h0s = max(h0 + zb0 - zf, 0.0)
+        h1s = max(h1 + zb1 - zf, 0.0)
+        corr0 = 0.5 * g * (h0 * h0 - h0s * h0s)
+        corr1 = 0.5 * g * (h1 * h1 - h1s * h1s)
+
+        fn0 = flux[1] + corr0
+        fn1 = flux[1] + corr1
+        fx0 = fn0 * nx - flux[2] * ny
+        fy0 = fn0 * ny + flux[2] * nx
+        fx1 = fn1 * nx - flux[2] * ny
+        fy1 = fn1 * ny + flux[2] * nx
+
+        a0 = ln / vol0[0]
+        L0[0] -= flux[0] * a0
+        L0[1] -= fx0 * a0
+        L0[2] -= fy0 * a0
+        # Boundary edges mirror both slots onto the interior cell; the
+        # second slot's contribution is masked out.
+        w = 0.0 if bnd > 0.5 else 1.0
+        a1 = w * ln / vol1[0]
+        L1[0] += flux[0] * a1
+        L1[1] += fx1 * a1
+        L1[2] += fy1 * a1
+
+    def space_disc_vec(flux, geom, q0, q1, vol0, vol1, L0, L1):
+        nx, ny = geom[:, 0], geom[:, 1]
+        ln, bnd = geom[:, 2], geom[:, 3]
+        h0, zb0 = q0[:, 0], q0[:, 3]
+        h1, zb1 = q1[:, 0], q1[:, 3]
+
+        zf = np.maximum(zb0, zb1)
+        h0s = np.maximum(h0 + zb0 - zf, 0.0)
+        h1s = np.maximum(h1 + zb1 - zf, 0.0)
+        corr0 = 0.5 * g * (h0 * h0 - h0s * h0s)
+        corr1 = 0.5 * g * (h1 * h1 - h1s * h1s)
+
+        fn0 = flux[:, 1] + corr0
+        fn1 = flux[:, 1] + corr1
+        fx0 = fn0 * nx - flux[:, 2] * ny
+        fy0 = fn0 * ny + flux[:, 2] * nx
+        fx1 = fn1 * nx - flux[:, 2] * ny
+        fy1 = fn1 * ny + flux[:, 2] * nx
+
+        a0 = ln / vol0[:, 0]
+        L0[:, 0] -= flux[:, 0] * a0
+        L0[:, 1] -= fx0 * a0
+        L0[:, 2] -= fy0 * a0
+        w = np.where(bnd > 0.5, 0.0, 1.0)
+        a1 = w * ln / vol1[:, 0]
+        L1[:, 0] += flux[:, 0] * a1
+        L1[:, 1] += fx1 * a1
+        L1[:, 2] += fy1 * a1
+
+    # ------------------------------------------------------------------
+    # RK_1 — stage 1: backup + midpoint state.
+    # ------------------------------------------------------------------
+    def rk_1(q, L, q_old, q_mid, dt):
+        for n in range(4):
+            q_old[n] = q[n]
+            q_mid[n] = q[n] + dt[0] * L[n]
+        q_mid[0] = max(q_mid[0], 0.0)
+
+    def rk_1_vec(q, L, q_old, q_mid, dt):
+        q_old[:, :] = q
+        q_mid[:, :] = q + dt[0] * L
+        q_mid[:, 0] = np.maximum(q_mid[:, 0], 0.0)
+
+    # ------------------------------------------------------------------
+    # RK_2 — SSP combine of backup, midpoint and midpoint RHS.
+    # ------------------------------------------------------------------
+    def rk_2(q_old, q_mid, L, q, dt):
+        for n in range(4):
+            q[n] = 0.5 * (q_old[n] + q_mid[n] + dt[0] * L[n])
+        q[0] = max(q[0], 0.0)
+
+    def rk_2_vec(q_old, q_mid, L, q, dt):
+        q[:, :] = 0.5 * (q_old + q_mid + dt[0] * L)
+        q[:, 0] = np.maximum(q[:, 0], 0.0)
+
+    # ------------------------------------------------------------------
+    # sim_1 — direct copy (snapshot for output).
+    # ------------------------------------------------------------------
+    def sim_1(q, out):
+        for n in range(4):
+            out[n] = q[n]
+
+    def sim_1_vec(q, out):
+        out[:, :] = q
+
+    return {
+        "compute_flux": Kernel(
+            "compute_flux", compute_flux, compute_flux_vec,
+            KernelInfo(flops=154, transcendentals=2,
+                       description="Gather, direct write"),
+            vectorizable_simt=True,
+        ),
+        "numerical_flux": Kernel(
+            "numerical_flux", numerical_flux, numerical_flux_vec,
+            KernelInfo(flops=9, description="Gather, reduction"),
+            vectorizable_simt=True,
+        ),
+        "space_disc": Kernel(
+            "space_disc", space_disc, space_disc_vec,
+            KernelInfo(flops=23, description="Gather, scatter"),
+            vectorizable_simt=False,
+        ),
+        "RK_1": Kernel(
+            "RK_1", rk_1, rk_1_vec,
+            KernelInfo(flops=12, description="Direct"),
+            vectorizable_simt=False,
+        ),
+        "RK_2": Kernel(
+            "RK_2", rk_2, rk_2_vec,
+            KernelInfo(flops=16, description="Direct"),
+            vectorizable_simt=False,
+        ),
+        "sim_1": Kernel(
+            "sim_1", sim_1, sim_1_vec,
+            KernelInfo(flops=0, description="Direct copy"),
+            vectorizable_simt=False,
+        ),
+    }

@@ -1,0 +1,45 @@
+"""Auto-vectorization analogue backend (paper Sections 4 and 6.5).
+
+The paper makes compiler auto-vectorization *possible* by switching to the
+full-permute / block-permute orderings (independent inner-loop iterations
+plus ``#pragma ivdep``).  Whether the compiler then actually vectorizes a
+loop is a separate question — on AVX it mostly refused, on the Phi it
+vectorized everything yet ran slower than scalar because of the gathers
+the permutation introduces.
+
+This backend realizes the auto-vectorized execution: whole color groups
+execute as single batched NumPy calls (unbounded "vector length"), with
+free (unserialized) scatters since color groups are independent.  Kernels
+without a vector form run scalar — the compiler bail-out case.
+"""
+
+from __future__ import annotations
+
+from .vectorized import VectorizedBackend
+
+
+class AutoVecBackend(VectorizedBackend):
+    """Whole-color batched execution over permute orderings.
+
+    A thin specialization of :class:`VectorizedBackend`: the "vector
+    width" is unbounded (a compiler vectorizing an independent loop covers
+    the whole trip count), so each color group is one fused gather /
+    compute / scatter.  Plans must use the ``full_permute`` or
+    ``block_permute`` scheme for indirect loops; direct loops work with
+    any scheme.
+    """
+
+    name = "autovec"
+
+    def __init__(self) -> None:
+        super().__init__(vec=None)
+
+    def _run(self, kernel, set_, args, plan, n, reductions, start=0) -> None:
+        if not plan.is_direct and plan.scheme == "two_level":
+            raise ValueError(
+                "AutoVecBackend requires a full_permute or block_permute "
+                "plan for indirect loops (iteration independence is what "
+                "enables auto-vectorization); got a two_level plan for "
+                f"kernel {kernel.name!r}"
+            )
+        super()._run(kernel, set_, args, plan, n, reductions, start)

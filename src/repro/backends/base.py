@@ -1,0 +1,286 @@
+"""Backend interface and shared gather/scatter machinery.
+
+A backend executes one parallel loop over a range of set elements given a
+:class:`~repro.core.plan.Plan`.  The concrete backends model the paper's
+parallelization strategies:
+
+========================  =====================================================
+``sequential``            scalar element-at-a-time loop — the generated pure
+                          MPI stub of Fig 2b (one single-threaded process)
+``openmp``                scalar execution ordered by the two-level coloring
+                          plan — OP2's non-vectorized OpenMP backend
+``vectorized``            explicit SIMD: gather → batched vector kernel →
+                          serialized/colored scatter, with scalar pre/post
+                          sweeps (Fig 3b)
+``simt``                  OpenCL/CUDA analogue: work-groups = plan blocks in
+                          lockstep, block-level colored increments (Fig 3a)
+``autovec``               compiler auto-vectorization analogue: whole-color
+                          execution under full/block permute orderings
+========================  =====================================================
+
+All backends must produce results identical (to floating-point reordering
+tolerance) to ``sequential`` — the central correctness property of the
+test suite.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.access import Access, Arg
+from ..core.kernel import Kernel
+from ..core.plan import Plan
+from ..core.set import Set
+
+
+@dataclass
+class LoopStats:
+    """Per-kernel execution accounting (OP2's ``op_timing`` analogue)."""
+
+    calls: int = 0
+    elapsed: float = 0.0
+    elements: int = 0
+
+    def record(self, dt: float, n: int) -> None:
+        self.calls += 1
+        self.elapsed += dt
+        self.elements += n
+
+
+class Backend:
+    """Abstract parallel-loop executor."""
+
+    #: Registry name, overridden by subclasses.
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self.stats: Dict[str, LoopStats] = {}
+
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        kernel: Kernel,
+        set_: Set,
+        args: Sequence[Arg],
+        plan: Plan,
+        n_elements: Optional[int] = None,
+        start_element: int = 0,
+    ) -> None:
+        """Run ``kernel`` over ``[start_element, n_elements)`` of ``set_``.
+
+        ``n_elements`` defaults to ``set_.total_size`` (owned plus exec
+        halo) so distributed execution covers redundant halo elements;
+        a non-zero ``start_element`` executes only the tail (the MPI
+        substrate's core/boundary split).
+        """
+        n = set_.total_size if n_elements is None else int(n_elements)
+        start = int(start_element)
+        if not (0 <= start <= n):
+            raise ValueError(f"start_element {start} outside [0, {n}]")
+        t0 = time.perf_counter()
+        reductions = _init_reductions(args)
+        self._run(kernel, set_, args, plan, n, reductions, start)
+        _fold_reductions(args, reductions)
+        dt = time.perf_counter() - t0
+        self.stats.setdefault(kernel.name, LoopStats()).record(dt, n - start)
+
+    def _run(self, kernel, set_, args, plan, n, reductions, start=0) -> None:
+        raise NotImplementedError
+
+    def reset_stats(self) -> None:
+        self.stats.clear()
+
+
+# ----------------------------------------------------------------------
+# Global-reduction scaffolding shared by every backend.
+# ----------------------------------------------------------------------
+def _init_reductions(args: Sequence[Arg]) -> Dict[int, np.ndarray]:
+    """Scalar per-loop accumulators for global reduction arguments."""
+    acc: Dict[int, np.ndarray] = {}
+    for i, arg in enumerate(args):
+        if arg.is_global and arg.access.is_reduction:
+            acc[i] = arg.dat.identity_for(arg.access)
+    return acc
+
+
+def _fold_reductions(args: Sequence[Arg], reductions: Dict[int, np.ndarray]) -> None:
+    for i, partial in reductions.items():
+        args[i].dat.combine(args[i].access, partial)
+
+
+# ----------------------------------------------------------------------
+# Scalar per-element argument views.
+# ----------------------------------------------------------------------
+def scalar_views(args: Sequence[Arg], e: int, reductions: Dict[int, np.ndarray]):
+    """Build the per-element argument tuple for a scalar kernel call.
+
+    Direct and single-slot indirect Dat arguments become in-place views;
+    vector (``IDX_ALL``) arguments fancy-index, which copies — so writing
+    vector arguments get a private buffer plus a writeback record (second
+    return value).  READ globals pass the raw value, reduction globals
+    the loop accumulator.
+    """
+    views = []
+    writebacks = []
+    for i, arg in enumerate(args):
+        if arg.is_global:
+            views.append(reductions[i] if i in reductions else arg.dat.data)
+        elif arg.is_direct:
+            views.append(arg.dat.data[e])
+        elif arg.is_vector:
+            idx = arg.map.values[e]
+            if arg.access is Access.INC:
+                # Private zeroed accumulator (as OP2's generated code
+                # passes arg*_l locals), applied serially afterwards.
+                buf = np.zeros((arg.map.arity, arg.dat.dim), arg.dat.dtype)
+                writebacks.append((i, idx, buf, True))
+            else:
+                buf = arg.dat.data[idx]  # gathered copy
+                if arg.access.writes:
+                    writebacks.append((i, idx, buf, False))
+            views.append(buf)
+        else:
+            views.append(arg.dat.data[arg.map.values[e, arg.index]])
+    return tuple(views), writebacks
+
+
+def run_scalar_element(
+    scalar,
+    args: Sequence[Arg],
+    e: int,
+    reductions: Dict[int, np.ndarray],
+) -> None:
+    """Execute the scalar kernel on one element, applying writebacks."""
+    views, writebacks = scalar_views(args, e, reductions)
+    scalar(*views)
+    for i, idx, buf, is_inc in writebacks:
+        if is_inc:
+            np.add.at(args[i].dat.data, idx, buf)
+        else:
+            args[i].dat.data[idx] = buf
+
+
+# ----------------------------------------------------------------------
+# Batched gather / scatter used by vectorized-style backends.
+# ----------------------------------------------------------------------
+@dataclass
+class BatchArgs:
+    """Materialized batched arguments for one chunk of elements."""
+
+    arrays: List[np.ndarray] = field(default_factory=list)
+    #: (arg position, gathered index array) pairs that must scatter back.
+    writebacks: List[tuple] = field(default_factory=list)
+    #: (arg position,) of vector reduction accumulators, shape (chunk, dim).
+    reduction_slots: List[int] = field(default_factory=list)
+
+
+def gather_batch(
+    args: Sequence[Arg],
+    elems: np.ndarray,
+    dtypeless_zeros: bool = False,
+) -> BatchArgs:
+    """Gather a chunk of elements into batched ``(chunk, ...)`` arrays.
+
+    This is the Python analogue of the paper's explicit packing into
+    vector registers (Fig 3b): indirect reads become mapped gathers,
+    direct reads become contiguous loads (views when the chunk is a
+    slice-like contiguous range), and indirect increments start as zeroed
+    accumulators that the caller scatters afterwards.
+    """
+    batch = BatchArgs()
+    nl = elems.size
+    contiguous = bool(
+        nl and elems[0] + nl - 1 == elems[-1] and np.all(np.diff(elems) == 1)
+    )
+    for i, arg in enumerate(args):
+        if arg.is_global:
+            if arg.access.is_reduction:
+                acc = np.zeros((nl, arg.dat.dim), dtype=arg.dat.dtype)
+                if arg.access is Access.MIN:
+                    acc[...] = arg.dat.identity_for(arg.access)
+                elif arg.access is Access.MAX:
+                    acc[...] = arg.dat.identity_for(arg.access)
+                batch.arrays.append(acc)
+                batch.reduction_slots.append(i)
+            else:
+                batch.arrays.append(arg.dat.data)
+            continue
+
+        if arg.is_direct:
+            if contiguous:
+                view = arg.dat.data[elems[0] : elems[0] + nl]
+            else:
+                view = arg.dat.data[elems]
+            if arg.access.writes and not contiguous:
+                batch.writebacks.append((i, elems))
+            batch.arrays.append(view)
+            continue
+
+        # Indirect argument: mapped gather.
+        if arg.is_vector:
+            idx = arg.map.values[elems]          # (chunk, arity)
+        else:
+            idx = arg.map.values[elems, arg.index]  # (chunk,)
+        if arg.access is Access.INC:
+            shape = (
+                (nl, arg.map.arity, arg.dat.dim) if arg.is_vector else (nl, arg.dat.dim)
+            )
+            local = np.zeros(shape, dtype=arg.dat.dtype)
+            batch.arrays.append(local)
+            batch.writebacks.append((i, idx))
+        else:
+            local = arg.dat.data[idx]
+            batch.arrays.append(local)
+            if arg.access.writes:
+                batch.writebacks.append((i, idx))
+    return batch
+
+
+def scatter_batch(
+    args: Sequence[Arg],
+    batch: BatchArgs,
+    reductions: Dict[int, np.ndarray],
+    serialize_inc: bool = True,
+    elems: Optional[np.ndarray] = None,
+) -> None:
+    """Scatter batched results back to their Dats and fold reductions.
+
+    ``serialize_inc=True`` uses ``np.add.at`` — the colored/serialized
+    increment of the paper, correct even when lanes share a target.
+    ``serialize_inc=False`` models the permute schemes' free scatter
+    (``data[idx] += local``), valid only when all lane targets are unique.
+    """
+    for i, idx in batch.writebacks:
+        arg = args[i]
+        local = batch.arrays[i]
+        if arg.access is Access.INC:
+            if arg.is_vector:
+                # Vector args flatten (chunk, arity) targets; one element's
+                # own slots may coincide on degenerate meshes, so always
+                # accumulate serially for them.
+                np.add.at(
+                    arg.dat.data, idx.reshape(-1), local.reshape(-1, arg.dat.dim)
+                )
+            elif serialize_inc:
+                np.add.at(arg.dat.data, idx, local)
+            else:
+                arg.dat.data[idx] += local
+        else:
+            # WRITE / RW scatter: lane targets must be distinct (guaranteed
+            # by coloring for indirect args; direct non-contiguous gathers
+            # are bijective by construction).
+            arg.dat.data[idx] = local
+
+    for i in batch.reduction_slots:
+        arg = args[i]
+        partial = batch.arrays[i]
+        if arg.access is Access.INC:
+            reductions[i] += partial.sum(axis=0)
+        elif arg.access is Access.MIN:
+            np.minimum(reductions[i], partial.min(axis=0), out=reductions[i])
+        elif arg.access is Access.MAX:
+            np.maximum(reductions[i], partial.max(axis=0), out=reductions[i])

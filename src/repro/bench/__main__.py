@@ -1,0 +1,59 @@
+"""CLI: regenerate every table and figure.
+
+Usage::
+
+    python -m repro.bench              # all tables + figures
+    python -m repro.bench table5       # one artifact
+    python -m repro.bench --measured   # also run wall-clock measurements
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .figures import ALL_FIGURES
+from .harness import RESULTS_DIR
+from .measured import measured_speedups
+from .tables import ALL_TABLES
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "artifacts", nargs="*",
+        help="names to generate (default: everything)",
+    )
+    parser.add_argument(
+        "--measured", action="store_true",
+        help="also measure wall-clock backend speedups on this machine",
+    )
+    parser.add_argument("--outdir", default=None, help="output directory")
+    args = parser.parse_args(argv)
+
+    registry = {**ALL_TABLES, **ALL_FIGURES}
+    names = args.artifacts or list(registry)
+    unknown = [n for n in names if n not in registry]
+    if unknown:
+        parser.error(f"unknown artifacts {unknown}; known: {sorted(registry)}")
+
+    for name in names:
+        artifact = registry[name]()
+        print(artifact.render())
+        path = artifact.save(name, args.outdir)
+        print(f"[saved {path}]\n")
+
+    if args.measured:
+        for app in ("airfoil", "volna"):
+            table = measured_speedups(app)
+            print(table.render())
+            table.save(f"measured_{app}", args.outdir)
+    print(f"Results under {args.outdir or RESULTS_DIR}/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,148 @@
+"""Published numbers from the paper, for side-by-side comparison.
+
+Transcribed from Tables I-IX of Reguly et al.  Used only for reporting
+(model-vs-paper columns) and for shape assertions in the benchmark
+suite; the model never reads them.
+"""
+
+from __future__ import annotations
+
+# Table II — Airfoil kernel properties.
+# kernel: (direct_read, direct_write, indirect_read, indirect_write,
+#          flops, flop_per_byte_dp, flop_per_byte_sp)
+TABLE2_AIRFOIL = {
+    "save_soln": (4, 4, 0, 0, 4, 0.04, 0.08),
+    "adt_calc": (4, 1, 8, 0, 64, 0.57, 1.14),
+    "res_calc": (0, 0, 22, 8, 73, 0.3, 0.6),
+    "bres_calc": (1, 0, 13, 4, 73, 0.5, 1.01),
+    "update": (9, 8, 0, 0, 17, 0.1, 0.2),
+}
+
+# Table III — Volna kernel properties (single precision only).
+TABLE3_VOLNA = {
+    "RK_1": (8, 12, 0, 0, 12, 0.6),
+    "RK_2": (12, 8, 0, 0, 16, 0.8),
+    "sim_1": (4, 4, 0, 0, 0, 0.0),
+    "compute_flux": (4, 6, 8, 0, 154, 8.5),
+    "numerical_flux": (1, 4, 6, 0, 9, 0.81),
+    "space_disc": (8, 0, 10, 8, 23, 0.88),
+}
+
+# Table IV — meshes (cells, nodes, edges, memory MB dp(sp)).
+TABLE4_MESHES = {
+    "Airfoil small": (720_000, 721_801, 1_438_600, 94, 47),
+    "Airfoil large": (2_880_000, 2_883_601, 5_757_200, 373, 186),
+    "Volna": (2_392_352, 1_197_384, 3_589_735, None, 355),
+}
+
+# Table V — baseline per-kernel (time s, BW GB/s, GFLOP/s).
+# Airfoil rows are double precision on the 2.8M mesh (CUDA column: the
+# byte accounting shows the 720k mesh was used); Volna rows are SP.
+TABLE5_BASELINE = {
+    "MPI CPU 1": {
+        "save_soln": (4.0, 46, 3.2), "adt_calc": (24.6, 13, 14.6),
+        "res_calc": (25.2, 27, 32), "bres_calc": (0.09, 29, 12),
+        "update": (14.05, 56, 8), "RK_1": (3.24, 53, 4),
+        "RK_2": (2.88, 59, 5), "compute_flux": (23.34, 14, 42),
+        "numerical_flux": (4.68, 29, 4), "space_disc": (16.86, 21, 9),
+    },
+    "MPI CPU 2": {
+        "save_soln": (2.9, 63, 4), "adt_calc": (7.6, 43, 48),
+        "res_calc": (13.6, 50, 61), "bres_calc": (0.05, 52, 16),
+        "update": (9.7, 81, 10), "RK_1": (0.72, 79, 6),
+        "RK_2": (0.64, 89, 9), "compute_flux": (4.01, 27, 82),
+        "numerical_flux": (0.96, 57, 6), "space_disc": (1.51, 79, 33),
+    },
+    "CUDA K40": {
+        "save_soln": (0.20, 230, 14), "adt_calc": (0.69, 116, 133),
+        "res_calc": (2.77, 62, 75), "bres_calc": (0.06, 32, 5),
+        "update": (0.83, 235, 29), "RK_1": (0.87, 198, 15),
+        "RK_2": (0.72, 242, 24), "compute_flux": (3.21, 101, 309),
+        "numerical_flux": (1.14, 120, 17), "space_disc": (1.92, 73, 31),
+    },
+}
+
+# Table VI — OpenCL per-kernel time s / BW GB/s, DP where dual (Airfoil),
+# plus which kernels the OpenCL compiler vectorized on each device.
+TABLE6_OPENCL = {
+    "CPU 1": {
+        "save_soln": (4.15, 44), "adt_calc": (18.27, 17.7),
+        "res_calc": (31.43, 22), "update": (14.65, 53.5),
+        "RK_1": (1.37, 42), "RK_2": (1.18, 49),
+        "compute_flux": (6.4, 51), "numerical_flux": (7.48, 18),
+        "space_disc": (9.24, 40),
+    },
+    "Xeon Phi": {
+        "save_soln": (2.6, 71), "adt_calc": (12.1, 27),
+        "res_calc": (46.0, 15), "update": (12.0, 65),
+        "RK_1": (0.89, 64), "RK_2": (0.76, 75),
+        "compute_flux": (4.91, 67), "numerical_flux": (3.28, 42),
+        "space_disc": (7.95, 45),
+    },
+}
+TABLE6_VECTORIZED_CPU = {"adt_calc", "bres_calc", "compute_flux",
+                         "numerical_flux"}
+# Phi: everything vectorized.
+
+# Table VII — vectorized pure MPI per-kernel (time s, BW GB/s), DP.
+TABLE7_VECTORIZED = {
+    "CPU 1": {
+        "save_soln": (4.08, 45), "adt_calc": (12.7, 25),
+        "res_calc": (19.5, 35), "update": (14.6, 53),
+        "RK_1": (3.27, 52), "RK_2": (2.88, 59),
+        "compute_flux": (8.82, 37), "numerical_flux": (4.59, 30),
+        "space_disc": (7.47, 48),
+    },
+    "CPU 2": {
+        "save_soln": (2.9, 62), "adt_calc": (5.6, 57),
+        "res_calc": (9.9, 69), "update": (9.8, 79),
+        "RK_1": (2.19, 78), "RK_2": (1.86, 92),
+        "compute_flux": (6.0, 54), "numerical_flux": (3.18, 43),
+        "space_disc": (4.56, 79),
+    },
+}
+
+# Table VIII — Xeon Phi per-kernel (time s, BW GB/s), DP Airfoil + Volna.
+TABLE8_PHI = {
+    "Scalar": {
+        "save_soln": (1.95, 94), "adt_calc": (27.7, 12),
+        "res_calc": (48.8, 14), "update": (11.8, 66),
+        "RK_1": (2.16, 79), "RK_2": (2.37, 70),
+        "compute_flux": (32.1, 10), "numerical_flux": (12.9, 11),
+        "space_disc": (23.6, 15),
+    },
+    "Auto-vectorized": {
+        "save_soln": (1.94, 95), "adt_calc": (14.35, 23),
+        "res_calc": (84.03, 8), "update": (8.33, 94),
+        "RK_1": (2.19, 78), "RK_2": (3.24, 53),
+        "compute_flux": (29.3, 11), "numerical_flux": (11.3, 12),
+        "space_disc": (24.5, 15),
+    },
+    "Intrinsics": {
+        "save_soln": (2.17, 84), "adt_calc": (6.86, 47),
+        "res_calc": (27.22, 25), "update": (8.77, 89),
+        "RK_1": (1.35, 128), "RK_2": (1.32, 130),
+        "compute_flux": (10.95, 30), "numerical_flux": (7.29, 19),
+        "space_disc": (9.93, 36),
+    },
+}
+
+# Table IX — relative improvement over CPU 1, per kernel.
+TABLE9_RELATIVE = {
+    "save_soln": (1.0, 1.37, 1.88, 5.11),
+    "adt_calc": (1.0, 2.25, 1.87, 4.84),
+    "res_calc": (1.0, 1.95, 0.81, 1.79),
+    "update": (1.0, 1.48, 1.67, 4.54),
+    "RK_1": (1.0, 1.5, 2.42, 3.75),
+    "RK_2": (1.0, 1.54, 2.18, 4.05),
+    "compute_flux": (1.0, 1.46, 0.81, 2.75),
+    "numerical_flux": (1.0, 1.43, 0.63, 4.02),
+    "space_disc": (1.0, 1.63, 0.75, 1.52),
+}
+TABLE9_COLUMNS = ("CPU 1", "CPU 2", "Xeon Phi", "K40")
+
+# Headline speedup bands from the conclusions (Section 7).
+CPU_VEC_SPEEDUP_SP = (1.6, 2.0)
+CPU_VEC_SPEEDUP_DP = (1.1, 1.4)
+PHI_VEC_SPEEDUP_SP = (2.0, 2.2)
+PHI_VEC_SPEEDUP_DP = (1.7, 1.8)

@@ -1,0 +1,116 @@
+"""Data defined on mesh sets (OP2 ``op_dat``).
+
+A :class:`Dat` is an ``(set.total_size, dim)`` NumPy array plus metadata.
+Storage is array-of-structures (AoS), matching the paper's CPU layout; the
+SIMT backend requests a structure-of-arrays (SoA) view via :meth:`Dat.soa`
+to model the paper's GPU data transposition (Section 5).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+import numpy as np
+
+from .set import Set
+
+_dat_counter = itertools.count()
+
+
+class Dat:
+    """A dense dataset attached to a :class:`~repro.core.set.Set`.
+
+    Parameters
+    ----------
+    set_:
+        The set this data lives on.
+    dim:
+        Arity (number of components per element), e.g. 4 flow variables.
+    data:
+        Optional initial values, broadcastable to ``(set.total_size, dim)``.
+        Zeros when omitted.
+    dtype:
+        Floating (or integer) dtype; the whole library is dtype-parametric
+        so single/double precision runs use the same code path.
+    name:
+        Identifier used in reports and plan debugging.
+    """
+
+    def __init__(
+        self,
+        set_: Set,
+        dim: int,
+        data: Optional[np.ndarray] = None,
+        dtype: np.dtype = np.float64,
+        name: Optional[str] = None,
+    ) -> None:
+        if not isinstance(set_, Set):
+            raise TypeError("Dat must be attached to a Set")
+        if dim < 1:
+            raise ValueError(f"Dat dim must be >= 1, got {dim}")
+        self.set = set_
+        self.dim = int(dim)
+        self.name = name if name is not None else f"dat_{next(_dat_counter)}"
+        self._uid = next(_dat_counter)
+        extent = set_.total_size + int(getattr(set_, "nonexec_size", 0))
+        if data is None:
+            self.data = np.zeros((extent, dim), dtype=dtype)
+        else:
+            arr = np.asarray(data, dtype=dtype)
+            if arr.size == extent * dim:
+                arr = arr.reshape(extent, dim)
+            else:
+                arr = np.broadcast_to(arr, (extent, dim)).copy()
+            self.data = np.ascontiguousarray(arr)
+
+    # ------------------------------------------------------------------
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    @property
+    def itemsize(self) -> int:
+        return self.data.dtype.itemsize
+
+    @property
+    def nbytes(self) -> int:
+        """Memory footprint of the owned portion (dim * size * itemsize)."""
+        return self.set.size * self.dim * self.itemsize
+
+    def soa(self) -> np.ndarray:
+        """Structure-of-arrays view ``(dim, extent)`` — a transposed *copy*.
+
+        Models the paper's GPU SoA layout; callers that mutate the copy
+        must write it back with :meth:`from_soa`.
+        """
+        return np.ascontiguousarray(self.data.T)
+
+    def from_soa(self, soa: np.ndarray) -> None:
+        """Write back a (possibly modified) SoA copy from :meth:`soa`."""
+        if soa.shape != (self.dim, self.data.shape[0]):
+            raise ValueError(
+                f"SoA shape {soa.shape} does not match ({self.dim}, "
+                f"{self.data.shape[0]})"
+            )
+        self.data[...] = soa.T
+
+    def copy(self, name: Optional[str] = None) -> "Dat":
+        """Deep copy (same set, fresh storage)."""
+        return Dat(self.set, self.dim, self.data.copy(), self.dtype, name=name)
+
+    def zero(self) -> None:
+        """In-place reset — cheaper than reallocating (guide: in-place ops)."""
+        self.data[...] = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Dat({self.name!r}, set={self.set.name}, dim={self.dim}, "
+            f"dtype={self.data.dtype})"
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Dat", self._uid))
+
+    def __eq__(self, other: object) -> bool:
+        return self is other

@@ -1,0 +1,137 @@
+"""Elementary kernels — the "user code" of the OP2 abstraction.
+
+The paper generates three incarnations of every user kernel: the scalar C
+function, an intrinsics version operating on vector registers, and an
+OpenCL version.  Here a :class:`Kernel` bundles:
+
+``scalar``
+    Per-element function; each Dat argument is a 1-D view of shape
+    ``(dim,)`` (or ``(arity, dim)`` for vector arguments), each Global
+    argument a 1-D accumulator.  Mutates in place.
+
+``vector``
+    Batched function; each Dat argument becomes a 2-D array of shape
+    ``(lanes, dim)`` (or ``(lanes, arity, dim)``), each Global argument a
+    ``(lanes, dim)`` per-lane accumulator folded by the backend afterwards.
+    This is the Python analogue of the paper's ``res_calc_vec`` operating
+    on ``F64vec4``/``F64vec8`` wrapper classes: branches must be rewritten
+    with :func:`repro.simd.intrinsics.select`.
+
+Kernels also carry the arithmetic metadata (FLOPs, transcendental counts)
+that Tables II/III of the paper report and the performance model consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+@dataclass(frozen=True)
+class KernelInfo:
+    """Per-element arithmetic cost metadata (paper Tables II and III).
+
+    ``flops`` counts useful floating point operations per set element,
+    with transcendental operations (sin, cos, exp, sqrt) counted as one —
+    exactly the accounting rule of Section 6.1.  ``transcendentals`` is
+    broken out separately because the performance model weighs them by
+    their (much larger) reciprocal throughput.
+    """
+
+    flops: int = 0
+    transcendentals: int = 0
+    description: str = ""
+
+
+class Kernel:
+    """A named elementary kernel with scalar and (optional) vector forms.
+
+    Parameters
+    ----------
+    name:
+        Kernel identifier (used in plan caches, reports and tables).
+    scalar:
+        The per-element function.
+    vector:
+        The batched/vectorized function, or ``None`` if the kernel cannot
+        be vectorized (e.g. un-rewritten data-dependent branches — the
+        situation the paper's compiler auto-vectorizer gives up on).
+    info:
+        Arithmetic metadata for the performance model.
+    vectorizable_simt:
+        Whether the SIMT (OpenCL-analogue) compiler would vectorize this
+        kernel.  The paper's Table VI shows the Intel OpenCL compiler
+        vectorizing a *different* subset of kernels on CPU vs Phi; this
+        flag carries the CPU answer, the Phi compiler vectorizes anything
+        with a vector form.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        scalar: Callable,
+        vector: Optional[Callable] = None,
+        info: Optional[KernelInfo] = None,
+        vectorizable_simt: bool = True,
+    ) -> None:
+        if not callable(scalar):
+            raise TypeError("Kernel scalar form must be callable")
+        if vector is not None and not callable(vector):
+            raise TypeError("Kernel vector form must be callable or None")
+        self.name = name
+        self.scalar = scalar
+        self.vector = vector
+        self.info = info if info is not None else KernelInfo()
+        self.vectorizable_simt = bool(vectorizable_simt)
+
+    @property
+    def has_vector_form(self) -> bool:
+        return self.vector is not None
+
+    def __call__(self, *args) -> None:
+        """Calling the kernel directly invokes the scalar form."""
+        self.scalar(*args)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        forms = "scalar+vector" if self.has_vector_form else "scalar"
+        return f"Kernel({self.name!r}, {forms}, flops={self.info.flops})"
+
+
+def kernel(
+    name: str,
+    *,
+    flops: int = 0,
+    transcendentals: int = 0,
+    description: str = "",
+    vectorizable_simt: bool = True,
+):
+    """Decorator form: wrap a scalar function as a :class:`Kernel`.
+
+    The vector form can be attached later with :meth:`Kernel.vector` via
+    the returned object's ``vectorized`` decorator::
+
+        @kernel("axpy", flops=2)
+        def axpy(x, y):
+            y[0] += 2.0 * x[0]
+
+        @axpy.vectorized
+        def axpy_vec(x, y):
+            y[:, 0] += 2.0 * x[:, 0]
+    """
+
+    def wrap(fn: Callable) -> Kernel:
+        k = Kernel(
+            name,
+            fn,
+            info=KernelInfo(flops, transcendentals, description),
+            vectorizable_simt=vectorizable_simt,
+        )
+
+        def vectorized(vfn: Callable) -> Callable:
+            k.vector = vfn
+            return vfn
+
+        k.vectorized = vectorized  # type: ignore[attr-defined]
+        return k
+
+    return wrap

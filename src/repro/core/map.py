@@ -1,0 +1,111 @@
+"""Connectivity between sets (OP2 ``op_map``).
+
+A :class:`Map` stores, for each element of ``from_set``, ``arity`` indices
+into ``to_set`` — e.g. ``edge2node`` with arity 2 or ``cell2node`` with
+arity 4 on a quad mesh.  Maps drive every indirect access in a parallel
+loop, and therefore also drive conflict-graph construction for coloring.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+import numpy as np
+
+from .set import Set
+
+_map_counter = itertools.count()
+
+
+class Map:
+    """A fixed-arity mapping from one set to another.
+
+    Parameters
+    ----------
+    from_set, to_set:
+        Source and target :class:`~repro.core.set.Set`.
+    arity:
+        Number of target indices per source element.
+    values:
+        Integer array of shape ``(from_set.total_size, arity)`` (a flat
+        array of the right length is also accepted and reshaped).
+    name:
+        Identifier used in plan cache keys and reports.
+    """
+
+    def __init__(
+        self,
+        from_set: Set,
+        to_set: Set,
+        arity: int,
+        values: np.ndarray,
+        name: Optional[str] = None,
+    ) -> None:
+        if not isinstance(from_set, Set) or not isinstance(to_set, Set):
+            raise TypeError("from_set and to_set must be Set instances")
+        if arity < 1:
+            raise ValueError(f"Map arity must be >= 1, got {arity}")
+        self.from_set = from_set
+        self.to_set = to_set
+        self.arity = int(arity)
+        self.name = name if name is not None else f"map_{next(_map_counter)}"
+        self._uid = next(_map_counter)
+
+        values = np.asarray(values, dtype=np.int64)
+        expected = from_set.total_size * arity
+        if values.size != expected:
+            raise ValueError(
+                f"Map {self.name!r} expects {expected} entries "
+                f"({from_set.total_size} x {arity}), got {values.size}"
+            )
+        self.values = np.ascontiguousarray(values.reshape(from_set.total_size, arity))
+        if self.values.size:
+            lo = int(self.values.min())
+            hi = int(self.values.max())
+            if lo < 0 or hi >= to_set.total_size + getattr(to_set, "nonexec_size", 0):
+                # Allow indices into the non-exec halo region of the target
+                # set (imported read-only elements in the MPI substrate).
+                if lo < 0 or hi >= _target_extent(to_set):
+                    raise ValueError(
+                        f"Map {self.name!r} indices [{lo}, {hi}] out of range "
+                        f"for target set of extent {_target_extent(to_set)}"
+                    )
+
+    # ------------------------------------------------------------------
+    def column(self, index: int) -> np.ndarray:
+        """Indices for one map slot, shape ``(from_set.total_size,)``."""
+        if not (0 <= index < self.arity):
+            raise IndexError(f"Map slot {index} out of range for arity {self.arity}")
+        return self.values[:, index]
+
+    def __getitem__(self, element: int) -> np.ndarray:
+        """Target indices of a single source element."""
+        return self.values[element]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Map({self.name!r}, {self.from_set.name} -> {self.to_set.name}, "
+            f"arity={self.arity})"
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Map", self._uid))
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+
+def _target_extent(to_set: Set) -> int:
+    """Total addressable extent of a map's target set.
+
+    Includes owned elements, the redundantly-executed halo and, when the
+    set carries one, the read-only non-exec halo appended by the MPI
+    decomposition.
+    """
+    return to_set.total_size + int(getattr(to_set, "nonexec_size", 0))
+
+
+def identity_map(s: Set, name: Optional[str] = None) -> Map:
+    """A 1-ary map from a set onto itself (useful in tests)."""
+    return Map(s, s, 1, np.arange(s.total_size, dtype=np.int64), name=name)

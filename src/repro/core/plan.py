@@ -1,0 +1,211 @@
+"""Execution plans — OP2's ``op_plan`` analogue.
+
+A :class:`Plan` captures everything a backend needs to execute a parallel
+loop free of data races: the mini-partition (block) layout, the block
+coloring (first level), the within-block element coloring (second level),
+and — for the alternative schemes of Section 4 — the full-permute or
+block-permute orderings.  Plans are expensive (graph coloring over the
+whole mesh) and depend only on the loop's *access structure*, not on the
+data values, so they are cached and reused across time steps exactly as
+OP2 does; the plan-cache ablation bench quantifies the saving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..coloring import (
+    BlockLayout,
+    BlockPermutation,
+    Permutation,
+    block_permute,
+    color_blocks,
+    conflict_targets,
+    element_colors_by_block,
+    full_permute,
+    make_blocks,
+)
+from .access import Arg
+from .set import Set
+
+#: Default mini-partition size — OP2's default; Fig 8b sweeps this knob.
+DEFAULT_BLOCK_SIZE = 256
+
+#: Supported execution orderings (paper Section 4).
+SCHEMES = ("two_level", "full_permute", "block_permute")
+
+
+@dataclass
+class Plan:
+    """A race-free execution schedule for one loop shape.
+
+    Attributes
+    ----------
+    layout:
+        Contiguous block (mini-partition) layout.
+    block_colors / n_block_colors:
+        First-level coloring: same-colored blocks never share an indirect
+        write target and may run concurrently.
+    blocks_by_color:
+        Block ids grouped by color (execution order of the OpenMP/SIMT
+        backends).
+    elem_colors / block_ncolors:
+        Second-level coloring used by the ``two_level`` scheme to
+        serialize indirect increments within a block.
+    permutation:
+        Global color-sorted order (``full_permute`` scheme only).
+    block_permutation:
+        Per-block color-sorted order (``block_permute`` scheme only).
+    is_direct:
+        True when the loop has no racing arguments at all; backends skip
+        coloring machinery entirely.
+    """
+
+    set: Set
+    scheme: str
+    layout: BlockLayout
+    is_direct: bool
+    block_colors: np.ndarray
+    n_block_colors: int
+    blocks_by_color: List[np.ndarray]
+    elem_colors: Optional[np.ndarray] = None
+    block_ncolors: Optional[np.ndarray] = None
+    permutation: Optional[Permutation] = None
+    block_permutation: Optional[BlockPermutation] = None
+    build_stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def nblocks(self) -> int:
+        return self.layout.nblocks
+
+    def max_elem_colors(self) -> int:
+        if self.elem_colors is None:
+            return 1
+        return int(self.block_ncolors.max(initial=1))
+
+
+def plan_signature(
+    set_: Set, args: Sequence[Arg], block_size: int, scheme: str
+) -> Tuple:
+    """Hashable cache key: the *structure* of a loop, not its data.
+
+    Two loops share a plan iff they iterate the same set with the same
+    racing (map, slot) columns, block size and scheme.  Read-only and
+    direct arguments do not influence the plan, so e.g. ``adt_calc``
+    (indirect reads only) maps to the trivial direct plan.
+    """
+    racing = tuple(
+        sorted(
+            (arg.map._uid, arg.index)
+            for arg in args
+            if arg.races
+        )
+    )
+    return (set_._uid, set_.size, racing, int(block_size), scheme)
+
+
+def build_plan(
+    set_: Set,
+    args: Sequence[Arg],
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    scheme: str = "two_level",
+    coloring_method: str = "auto",
+) -> Plan:
+    """Construct an execution plan for a loop over ``set_``.
+
+    The plan covers ``set_.total_size`` elements (owned + exec halo) so the
+    same plan drives both serial and simulated-MPI execution.
+    """
+    if scheme not in SCHEMES:
+        raise ValueError(f"Unknown scheme {scheme!r}; expected one of {SCHEMES}")
+    n = set_.total_size
+    layout = make_blocks(n, block_size)
+    targets, extent = conflict_targets(args, n)
+    is_direct = targets is None
+
+    stats: Dict[str, float] = {}
+    if is_direct:
+        block_colors = np.zeros(layout.nblocks, dtype=np.int32)
+        n_block_colors = 1 if layout.nblocks else 0
+    else:
+        block_colors, n_block_colors = color_blocks(layout, targets, extent)
+    blocks_by_color = [
+        np.nonzero(block_colors == c)[0].astype(np.int64)
+        for c in range(max(n_block_colors, 0))
+    ]
+    stats["n_block_colors"] = float(n_block_colors)
+
+    plan = Plan(
+        set=set_,
+        scheme=scheme,
+        layout=layout,
+        is_direct=is_direct,
+        block_colors=block_colors,
+        n_block_colors=n_block_colors,
+        blocks_by_color=blocks_by_color,
+        build_stats=stats,
+    )
+
+    if is_direct:
+        # Direct loops need no second level / permutation under any scheme.
+        plan.elem_colors = np.zeros(n, dtype=np.int32)
+        plan.block_ncolors = np.ones(layout.nblocks, dtype=np.int32)
+        return plan
+
+    if scheme == "two_level":
+        plan.elem_colors, plan.block_ncolors = element_colors_by_block(
+            layout, targets, extent, method=coloring_method
+        )
+        stats["max_elem_colors"] = float(plan.block_ncolors.max(initial=1))
+    elif scheme == "full_permute":
+        plan.permutation = full_permute(targets, n, extent, method=coloring_method)
+        stats["n_elem_colors"] = float(plan.permutation.ncolors)
+    elif scheme == "block_permute":
+        plan.block_permutation = block_permute(
+            layout, targets, extent, method=coloring_method
+        )
+        stats["max_elem_colors"] = float(
+            max(
+                (plan.block_permutation.block_ncolors(b) for b in range(layout.nblocks)),
+                default=1,
+            )
+        )
+    return plan
+
+
+class PlanCache:
+    """Memoizes plans by loop structure (OP2 keeps an identical cache)."""
+
+    def __init__(self) -> None:
+        self._plans: Dict[Tuple, Plan] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(
+        self,
+        set_: Set,
+        args: Sequence[Arg],
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        scheme: str = "two_level",
+        coloring_method: str = "auto",
+    ) -> Plan:
+        key = plan_signature(set_, args, block_size, scheme)
+        plan = self._plans.get(key)
+        if plan is not None:
+            self.hits += 1
+            return plan
+        self.misses += 1
+        plan = build_plan(set_, args, block_size, scheme, coloring_method)
+        self._plans[key] = plan
+        return plan
+
+    def clear(self) -> None:
+        self._plans.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._plans)

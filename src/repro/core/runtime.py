@@ -1,0 +1,145 @@
+"""Runtime configuration: backend selection, plan cache, loop accounting.
+
+OP2 separates the application (written once against the API) from the
+backend chosen at build/run time; here the same separation is a runtime
+:class:`Runtime` object.  A module-level default runtime keeps the common
+case (serial experimentation) zero-ceremony, while benchmarks construct
+isolated runtimes per configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..backends.autovec import AutoVecBackend
+from ..backends.base import Backend
+from ..backends.openmp import OpenMPBackend
+from .codegen import CodegenBackend
+from ..backends.sequential import SequentialBackend
+from ..backends.simt import SIMTBackend
+from ..backends.vectorized import VectorizedBackend
+from .plan import DEFAULT_BLOCK_SIZE, PlanCache
+
+
+def make_backend(name: str, **options) -> Backend:
+    """Instantiate a backend by registry name.
+
+    Names: ``sequential``, ``openmp``, ``vectorized``, ``simt``,
+    ``autovec``, ``codegen``.  Options are forwarded (``vec=`` for
+    vectorized, ``device=`` for simt).
+    """
+    registry = {
+        "sequential": SequentialBackend,
+        "openmp": OpenMPBackend,
+        "vectorized": VectorizedBackend,
+        "simt": SIMTBackend,
+        "autovec": AutoVecBackend,
+        "codegen": CodegenBackend,
+    }
+    if name not in registry:
+        raise KeyError(
+            f"Unknown backend {name!r}; available: {sorted(registry)}"
+        )
+    return registry[name](**options)
+
+
+class Runtime:
+    """Execution context for parallel loops.
+
+    Parameters
+    ----------
+    backend:
+        Backend instance or registry name.
+    block_size:
+        Mini-partition size for plans (paper Fig 8b's tuning knob).
+    scheme:
+        Default execution ordering: ``two_level`` (original),
+        ``full_permute`` or ``block_permute``.
+    coloring_method:
+        ``auto``, ``greedy`` (serial sweep) or ``jp`` (vectorized rounds).
+    """
+
+    def __init__(
+        self,
+        backend: Backend | str = "vectorized",
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        scheme: str = "two_level",
+        coloring_method: str = "auto",
+    ) -> None:
+        self.backend = (
+            backend if isinstance(backend, Backend) else make_backend(backend)
+        )
+        self.block_size = int(block_size)
+        self.scheme = scheme
+        self.coloring_method = coloring_method
+        self.plans = PlanCache()
+
+    # ------------------------------------------------------------------
+    def configure(
+        self,
+        backend: Optional[Backend | str] = None,
+        block_size: Optional[int] = None,
+        scheme: Optional[str] = None,
+        coloring_method: Optional[str] = None,
+    ) -> "Runtime":
+        """Update settings in place; plans are invalidated as needed."""
+        if backend is not None:
+            self.backend = (
+                backend if isinstance(backend, Backend) else make_backend(backend)
+            )
+        if block_size is not None and block_size != self.block_size:
+            self.block_size = int(block_size)
+        if scheme is not None:
+            self.scheme = scheme
+        if coloring_method is not None:
+            self.coloring_method = coloring_method
+            self.plans.clear()
+        return self
+
+    @property
+    def stats(self) -> Dict[str, object]:
+        return self.backend.stats
+
+    def reset_stats(self) -> None:
+        self.backend.reset_stats()
+
+    def timing_report(self) -> str:
+        """Per-kernel timing summary (OP2's ``op_timing_output``).
+
+        One line per kernel: calls, total seconds, share of the loop
+        time, and element throughput — the numbers the paper's per-kernel
+        breakdown tables are built from.
+        """
+        stats = self.backend.stats
+        total = sum(s.elapsed for s in stats.values()) or 1.0
+        name_w = max([len(n) for n in stats] + [6])
+        lines = [
+            f"{'kernel'.ljust(name_w)}  {'calls':>6s}  {'time s':>9s}  "
+            f"{'share':>6s}  {'Melem/s':>8s}",
+        ]
+        for name in sorted(stats, key=lambda n: -stats[n].elapsed):
+            s = stats[name]
+            rate = s.elements / s.elapsed / 1e6 if s.elapsed else 0.0
+            lines.append(
+                f"{name.ljust(name_w)}  {s.calls:6d}  {s.elapsed:9.4f}  "
+                f"{s.elapsed / total:6.1%}  {rate:8.2f}"
+            )
+        lines.append(
+            f"{'total'.ljust(name_w)}  {'':6s}  {total:9.4f}"
+        )
+        return "\n".join(lines)
+
+
+#: Default module-level runtime used when par_loop is called without one.
+_default_runtime = Runtime()
+
+
+def default_runtime() -> Runtime:
+    return _default_runtime
+
+
+def set_backend(backend: Backend | str, **options) -> Runtime:
+    """Switch the default runtime's backend (convenience for scripts)."""
+    if isinstance(backend, str):
+        backend = make_backend(backend, **options)
+    return _default_runtime.configure(backend=backend)

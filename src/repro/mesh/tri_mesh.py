@@ -1,0 +1,163 @@
+"""Triangular coastal mesh generator for the Volna tsunami solver.
+
+The paper runs Volna on a 2.4M-cell triangulation of the north-west
+American coast (Vancouver/Seattle strait).  As a parametric substitute we
+triangulate a rectangular ocean domain (each structured quad split along
+its diagonal), which preserves everything the solver and the performance
+study care about: triangle cells, three edges per cell, two cells per
+interior edge, boundary edges with reflective treatment, and the set-size
+ratios of a triangle mesh (cells ≈ 2·nodes, edges ≈ 1.5·cells — the
+paper's 2 392 352 / 1 197 384 / 3 589 735 has exactly these ratios).
+
+The coastal *character* (shelf, shoreline bay) comes from the bathymetry
+field generated in :mod:`repro.apps.volna.bathymetry`, not the topology.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.map import Map
+from ..core.set import Set
+from .structures import UnstructuredMesh
+
+
+def make_tri_mesh(
+    nx: int = 40,
+    ny: int = 30,
+    extent_x: float = 100.0,
+    extent_y: float = 75.0,
+) -> UnstructuredMesh:
+    """Triangulate an ``nx`` x ``ny`` structured rectangle.
+
+    Each quad ``(i, j)`` splits into a lower triangle (nodes ``sw, se,
+    ne``) and an upper triangle (``sw, ne, nw``), sharing the diagonal.
+
+    Sets: ``(nx+1)(ny+1)`` nodes, ``2*nx*ny`` cells,
+    ``3*nx*ny + nx + ny`` edges, ``2*(nx+ny)`` boundary edges.
+    """
+    if nx < 1 or ny < 1:
+        raise ValueError(f"need nx, ny >= 1, got nx={nx}, ny={ny}")
+
+    n_nodes = (nx + 1) * (ny + 1)
+    n_cells = 2 * nx * ny
+
+    def node(i, j):
+        return j * (nx + 1) + i
+
+    def lower(i, j):  # lower-right triangle of quad (i, j)
+        return 2 * (j * nx + i)
+
+    def upper(i, j):  # upper-left triangle of quad (i, j)
+        return 2 * (j * nx + i) + 1
+
+    xs = np.linspace(0.0, extent_x, nx + 1)
+    ys = np.linspace(0.0, extent_y, ny + 1)
+    gx, gy = np.meshgrid(xs, ys, indexing="xy")
+    coords = np.stack([gx.reshape(-1), gy.reshape(-1)], axis=1)
+
+    ii, jj = np.meshgrid(np.arange(nx), np.arange(ny), indexing="xy")
+    ii = ii.reshape(-1)
+    jj = jj.reshape(-1)
+
+    # Cell corner nodes: row 2k = lower(i, j), row 2k+1 = upper(i, j).
+    sw, se = node(ii, jj), node(ii + 1, jj)
+    ne, nw = node(ii + 1, jj + 1), node(ii, jj + 1)
+    c2n = np.empty((n_cells, 3), dtype=np.int64)
+    quad = jj * nx + ii
+    c2n[2 * quad] = np.stack([sw, se, ne], axis=1)
+    c2n[2 * quad + 1] = np.stack([sw, ne, nw], axis=1)
+
+    # ---- edges -----------------------------------------------------------
+    # Diagonals: between lower(i,j) and upper(i,j); nodes sw-ne.
+    diag_e2n = np.stack([sw, ne], axis=1)
+    diag_e2c = np.stack([lower(ii, jj), upper(ii, jj)], axis=1)
+    diag_bnd = np.zeros(ii.size, dtype=bool)
+
+    # Horizontal edges (y = const, j in [0, ny]): between upper(i, j-1)
+    # (below) and lower(i, j) (above); boundary at j = 0 and j = ny.
+    hi, hj = np.meshgrid(np.arange(nx), np.arange(ny + 1), indexing="xy")
+    hi = hi.reshape(-1)
+    hj = hj.reshape(-1)
+    hor_e2n = np.stack([node(hi, hj), node(hi + 1, hj)], axis=1)
+    below = np.where(hj > 0, upper(hi, np.maximum(hj - 1, 0)), -1)
+    above = np.where(hj < ny, lower(hi, np.minimum(hj, ny - 1)), -1)
+    # Boundary edges mirror the single interior cell into both slots
+    # (reflective ghost treatment).
+    hor_e2c = np.stack(
+        [np.where(below >= 0, below, above), np.where(above >= 0, above, below)],
+        axis=1,
+    )
+    hor_bnd = (hj == 0) | (hj == ny)
+
+    # Vertical edges (x = const, i in [0, nx]): between lower(i-1, j)
+    # (left, owns its 'se-ne' side) and upper(i, j) (right, owns 'sw-nw').
+    vi, vj = np.meshgrid(np.arange(nx + 1), np.arange(ny), indexing="xy")
+    vi = vi.reshape(-1)
+    vj = vj.reshape(-1)
+    ver_e2n = np.stack([node(vi, vj), node(vi, vj + 1)], axis=1)
+    left = np.where(vi > 0, lower(np.maximum(vi - 1, 0), vj), -1)
+    right = np.where(vi < nx, upper(np.minimum(vi, nx - 1), vj), -1)
+    ver_e2c = np.stack(
+        [np.where(left >= 0, left, right), np.where(right >= 0, right, left)],
+        axis=1,
+    )
+    ver_bnd = (vi == 0) | (vi == nx)
+
+    e2n = np.concatenate([diag_e2n, hor_e2n, ver_e2n])
+    e2c = np.concatenate([diag_e2c, hor_e2c, ver_e2c])
+    is_boundary = np.concatenate([diag_bnd, hor_bnd, ver_bnd])
+    n_edges = e2n.shape[0]
+
+    nodes = Set(n_nodes, "nodes")
+    cells = Set(n_cells, "cells")
+    edges = Set(n_edges, "edges")
+
+    # Boundary edges as their own set (reflective walls all around).
+    bidx = np.nonzero(is_boundary)[0]
+    bedges = Set(bidx.size, "bedges")
+    b2n = e2n[bidx]
+    b2c = e2c[bidx, :1]
+
+    # cell2edge: invert edge2cell (each triangle touches exactly 3 edges;
+    # boundary edges count once for their single real cell).
+    c2e = np.full((n_cells, 3), -1, dtype=np.int64)
+    fill = np.zeros(n_cells, dtype=np.int64)
+    for slot in range(2):
+        col = e2c[:, slot]
+        dup = is_boundary & (slot == 1)  # mirrored slot repeats the cell
+        for e in range(n_edges):
+            if dup[e]:
+                continue
+            c = col[e]
+            c2e[c, fill[c]] = e
+            fill[c] += 1
+    if (fill != 3).any():
+        raise AssertionError("cell2edge inversion failed: not 3 edges/cell")
+
+    maps = {
+        "edge2node": Map(edges, nodes, 2, e2n, "edge2node"),
+        "edge2cell": Map(edges, cells, 2, e2c, "edge2cell"),
+        "bedge2node": Map(bedges, nodes, 2, b2n, "bedge2node"),
+        "bedge2cell": Map(bedges, cells, 1, b2c, "bedge2cell"),
+        "cell2node": Map(cells, nodes, 3, c2n, "cell2node"),
+        "cell2edge": Map(cells, edges, 3, c2e, "cell2edge"),
+    }
+    mesh = UnstructuredMesh(
+        nodes=nodes,
+        cells=cells,
+        edges=edges,
+        bedges=bedges,
+        maps=maps,
+        coords=coords,
+        meta={"is_boundary_edge": is_boundary.astype(np.int64)},
+    )
+    mesh.validate()
+    return mesh
+
+
+def paper_mesh_dims(target_cells: int = 2_392_352) -> tuple[int, int]:
+    """(nx, ny) with 4:3 aspect matching the paper's Volna cell count."""
+    ny = int(round((target_cells / (2 * 4 / 3)) ** 0.5))
+    nx = int(round(4 * ny / 3))
+    return nx, ny

@@ -1,0 +1,22 @@
+"""Simulated distributed-memory substrate (OP2's MPI layer).
+
+Owner-compute decomposition with exec/non-exec halos, lazy halo
+exchanges, redundant computation over imported elements and global
+reductions — executed rank-by-rank in one process with full message
+accounting.
+"""
+
+from .comm import CommStats, SimComm
+from .decomposition import DistContext
+from .halo import ExchangeList, HaloPlan, SetRegions, build_exchanges, build_regions
+
+__all__ = [
+    "CommStats",
+    "DistContext",
+    "ExchangeList",
+    "HaloPlan",
+    "SetRegions",
+    "SimComm",
+    "build_exchanges",
+    "build_regions",
+]

@@ -1,0 +1,402 @@
+"""Distributed execution context: OP2's MPI layer over simulated ranks.
+
+:class:`DistContext` takes a *global* problem (sets, maps, dats and a
+partition of each set), builds per-rank local problems with OP2-style
+halo regions (see :mod:`repro.mpi.halo`), and executes parallel loops
+rank by rank with owner-compute semantics:
+
+* loops with **indirect writes** execute owned + exec-halo elements
+  redundantly, so every contribution to owned data is produced locally
+  and increments need no communication;
+* loops that **read** data through indirections (or execute halo
+  elements) first refresh the halo copies of the dats they read — the
+  halo exchange of paper Fig 2b, with per-message byte accounting;
+* dats written by a loop have their halo copies marked stale (exchanged
+  lazily before next use), mirroring OP2's dirty-bit protocol;
+* **global reductions** combine per-rank partials, accounted as one
+  allreduce.
+
+The result of any sequence of loops is identical to serial execution —
+the central property test of :mod:`tests.test_mpi`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.access import Arg
+from ..core.dat import Dat
+from ..core.glob import Global
+from ..core.kernel import Kernel
+from ..core.loop import par_loop
+from ..core.map import Map
+from ..core.runtime import Runtime
+from ..core.set import Set
+from .comm import SimComm
+from .halo import (
+    ExchangeList,
+    HaloPlan,
+    SetRegions,
+    build_exchanges,
+    build_regions,
+)
+
+
+class DistContext:
+    """A simulated-MPI execution context.
+
+    Typical use::
+
+        ctx = DistContext(nranks=4, backend="vectorized")
+        ctx.add_set(cells, cell_parts)
+        ctx.add_set(edges, edge_parts)
+        ctx.add_map(edge2cell)
+        ctx.add_dat(p_res)
+        ctx.finalize()
+        ctx.par_loop(res_calc, edges, *args)     # args name GLOBAL objects
+        result = ctx.fetch(p_res)                # gather to global order
+    """
+
+    def __init__(
+        self,
+        nranks: int,
+        backend: str | object = "vectorized",
+        block_size: int = 256,
+        scheme: str = "two_level",
+    ) -> None:
+        self.comm = SimComm(nranks)
+        self.nranks = int(nranks)
+        self.runtime = Runtime(
+            backend=backend, block_size=block_size, scheme=scheme
+        )
+        self._parts: Dict[Set, np.ndarray] = {}
+        self._maps: List[Map] = []
+        self._dats: List[Dat] = []
+        self._finalized = False
+
+        # Populated by finalize():
+        self.halo_plans: Dict[Set, HaloPlan] = {}
+        self.local_sets: Dict[Set, List[Set]] = {}
+        self.local_maps: Dict[Map, List[Map]] = {}
+        self.local_dats: Dict[Dat, List[Dat]] = {}
+        self._g2l: Dict[Set, List[Dict[int, int]]] = {}
+        self._halo_fresh: Dict[Dat, bool] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def add_set(self, set_: Set, parts: np.ndarray) -> None:
+        if self._finalized:
+            raise RuntimeError("Context already finalized")
+        parts = np.asarray(parts, dtype=np.int32)
+        if parts.size != set_.size:
+            raise ValueError(
+                f"partition for {set_.name!r} has {parts.size} entries, "
+                f"set has {set_.size}"
+            )
+        if parts.size and (parts.min() < 0 or parts.max() >= self.nranks):
+            raise ValueError("partition ranks out of range")
+        self._parts[set_] = parts
+
+    def add_map(self, map_: Map) -> None:
+        if self._finalized:
+            raise RuntimeError("Context already finalized")
+        self._maps.append(map_)
+
+    def add_dat(self, dat: Dat) -> None:
+        if self._finalized:
+            raise RuntimeError("Context already finalized")
+        self._dats.append(dat)
+
+    # ------------------------------------------------------------------
+    # Decomposition
+    # ------------------------------------------------------------------
+    def finalize(self) -> None:
+        """Build per-rank sets/maps/dats and halo exchange lists."""
+        if self._finalized:
+            raise RuntimeError("Context already finalized")
+        for m in self._maps:
+            for s in (m.from_set, m.to_set):
+                if s not in self._parts:
+                    raise ValueError(
+                        f"Map {m.name!r} references unregistered set {s.name!r}"
+                    )
+        for d in self._dats:
+            if d.set not in self._parts:
+                raise ValueError(
+                    f"Dat {d.name!r} lives on unregistered set {d.set.name!r}"
+                )
+
+        R = self.nranks
+        # 1. Exec-halo candidates: remote elements whose map targets land
+        #    on this rank (conservatively over all maps, as OP2 does at
+        #    op_decl time).
+        exec_cand: Dict[Set, List[np.ndarray]] = {
+            s: [np.zeros(0, dtype=np.int64) for _ in range(R)]
+            for s in self._parts
+        }
+        for s in self._parts:
+            maps_from = [m for m in self._maps if m.from_set is s]
+            if not maps_from:
+                continue
+            sparts = self._parts[s]
+            for r in range(R):
+                hit = np.zeros(s.size, dtype=bool)
+                for m in maps_from:
+                    tparts = self._parts[m.to_set]
+                    hit |= (tparts[m.values[: s.size]] == r).any(axis=1)
+                cand = np.nonzero(hit & (sparts != r))[0].astype(np.int64)
+                exec_cand[s][r] = cand
+
+        # 2. Regions with core/boundary split of owned elements.
+        regions: Dict[Set, List[SetRegions]] = {}
+        for s, sparts in self._parts.items():
+            maps_from = [
+                (m.values[: s.size], self._parts[m.to_set])
+                for m in self._maps
+                if m.from_set is s
+            ]
+            regions[s] = [
+                build_regions(sparts, r, maps_from, exec_cand[s][r])
+                for r in range(R)
+            ]
+
+        # 3. Non-exec halos: targets referenced by local (owned+exec)
+        #    elements that are neither owned nor already imported as exec.
+        needed: Dict[Set, List[set]] = {
+            s: [set() for _ in range(R)] for s in self._parts
+        }
+        for m in self._maps:
+            s, t = m.from_set, m.to_set
+            for r in range(R):
+                reg = regions[s][r]
+                local_elems = np.concatenate([reg.owned, reg.exec_halo])
+                if local_elems.size == 0:
+                    continue
+                refs = np.unique(m.values[local_elems])
+                needed[t][r].update(refs.tolist())
+        for t in self._parts:
+            for r in range(R):
+                reg = regions[t][r]
+                present = set(reg.owned.tolist()) | set(reg.exec_halo.tolist())
+                nonexec = sorted(needed[t][r] - present)
+                reg.nonexec_halo = np.asarray(nonexec, dtype=np.int64)
+
+        # 4. Exchange lists per set (exec + nonexec regions together).
+        for s, sparts in self._parts.items():
+            self.halo_plans[s] = HaloPlan(
+                regions=regions[s],
+                exchanges=build_exchanges(regions[s], sparts),
+            )
+
+        # 5. Local sets, global→local dictionaries.
+        for s in self._parts:
+            locals_: List[Set] = []
+            g2ls: List[Dict[int, int]] = []
+            for r in range(R):
+                reg = regions[s][r]
+                ls = Set(
+                    reg.n_owned,
+                    name=f"{s.name}@{r}",
+                    core_size=reg.core_size,
+                    exec_size=reg.n_exec,
+                )
+                ls.nonexec_size = reg.n_nonexec  # read-only halo extent
+                locals_.append(ls)
+                g2ls.append(reg.local_of_global())
+            self.local_sets[s] = locals_
+            self._g2l[s] = g2ls
+
+        # 6. Local maps (rows: owned + exec elements, values in local ids).
+        for m in self._maps:
+            s, t = m.from_set, m.to_set
+            locals_: List[Map] = []
+            for r in range(R):
+                reg = regions[s][r]
+                rows = np.concatenate([reg.owned, reg.exec_halo])
+                g2l_t = self._g2l[t][r]
+                gvals = m.values[rows]
+                lvals = np.fromiter(
+                    (g2l_t[g] for g in gvals.reshape(-1).tolist()),
+                    dtype=np.int64,
+                    count=gvals.size,
+                ).reshape(gvals.shape)
+                locals_.append(
+                    Map(
+                        self.local_sets[s][r],
+                        self.local_sets[t][r],
+                        m.arity,
+                        lvals,
+                        name=f"{m.name}@{r}",
+                    )
+                )
+            self.local_maps[m] = locals_
+
+        # 7. Local dats, seeded from the global data (halos start fresh).
+        for d in self._dats:
+            self.local_dats[d] = self._scatter_dat(d)
+            self._halo_fresh[d] = True
+
+        self._finalized = True
+
+    def _scatter_dat(self, d: Dat) -> List[Dat]:
+        locals_: List[Dat] = []
+        for r in range(self.nranks):
+            reg = self.halo_plans[d.set].regions[r]
+            l2g = reg.l2g()
+            locals_.append(
+                Dat(
+                    self.local_sets[d.set][r],
+                    d.dim,
+                    d.data[l2g],
+                    d.dtype,
+                    name=f"{d.name}@{r}",
+                )
+            )
+        return locals_
+
+    # ------------------------------------------------------------------
+    # Halo exchange
+    # ------------------------------------------------------------------
+    def ensure_fresh(self, d: Dat) -> None:
+        """Refresh halo copies of ``d`` from their owners if stale."""
+        if self._halo_fresh[d]:
+            return
+        plan = self.halo_plans[d.set]
+        locals_ = self.local_dats[d]
+        itembytes = d.dim * d.itemsize
+        for ex in plan.exchanges:
+            locals_[ex.dst_rank].data[ex.dst_local] = (
+                locals_[ex.src_rank].data[ex.src_local]
+            )
+            self.comm.record_message(
+                ex.src_rank, ex.dst_rank, ex.count * itembytes
+            )
+        self._halo_fresh[d] = True
+
+    # ------------------------------------------------------------------
+    # Parallel loop over the distributed problem
+    # ------------------------------------------------------------------
+    def par_loop(
+        self, kernel: Kernel, set_: Set, *args: Arg,
+        overlap: bool = False,
+    ) -> None:
+        """Execute one parallel loop across all ranks.
+
+        ``args`` reference the *global* dats/maps registered with the
+        context; they are translated to each rank's local objects.
+
+        ``overlap=True`` models the communication/computation overlap of
+        the paper's generated MPI code (Fig 2b): *core* elements — whose
+        map targets are all rank-local — execute before the halo
+        exchange completes ("while messages are in flight"), and only
+        the boundary/halo tail waits (``op_mpi_wait_all``).  Results are
+        identical either way; the split is what makes latency hiding
+        possible on real networks.
+        """
+        if not self._finalized:
+            raise RuntimeError("finalize() must run before par_loop")
+        needs_exec = any(arg.races for arg in args)
+        has_reduction = any(
+            arg.is_global and arg.access.is_reduction for arg in args
+        )
+        if needs_exec and has_reduction:
+            raise NotImplementedError(
+                "Loops combining indirect writes with global reductions "
+                "would double-count redundantly executed halo elements "
+                "(neither Airfoil nor Volna needs this; OP2 splits such "
+                "loops)"
+            )
+
+        needs_halo = [
+            arg for arg in args
+            if not arg.is_global
+            and arg.access.reads
+            and (arg.is_indirect or needs_exec)
+        ]
+        uses_indirection = any(arg.is_indirect for arg in args)
+
+        if overlap and uses_indirection:
+            # Phase 1: core elements need no halo data (by construction
+            # their targets are all owned), so they run "during" the
+            # exchange that phase 2 then consumes.
+            for r in range(self.nranks):
+                local_args = tuple(self._localize(arg, r) for arg in args)
+                ls = self.local_sets[set_][r]
+                par_loop(
+                    kernel, ls, *local_args, runtime=self.runtime,
+                    n_elements=ls.core_size,
+                )
+            for arg in needs_halo:
+                self.ensure_fresh(arg.dat)
+            for r in range(self.nranks):
+                local_args = tuple(self._localize(arg, r) for arg in args)
+                ls = self.local_sets[set_][r]
+                n = ls.total_size if needs_exec else ls.size
+                par_loop(
+                    kernel, ls, *local_args, runtime=self.runtime,
+                    n_elements=n, start_element=ls.core_size,
+                )
+        else:
+            for arg in needs_halo:
+                self.ensure_fresh(arg.dat)
+            for r in range(self.nranks):
+                local_args = tuple(self._localize(arg, r) for arg in args)
+                ls = self.local_sets[set_][r]
+                n = ls.total_size if needs_exec else ls.size
+                par_loop(
+                    kernel, ls, *local_args, runtime=self.runtime,
+                    n_elements=n,
+                )
+
+        if has_reduction:
+            for arg in args:
+                if arg.is_global and arg.access.is_reduction:
+                    self.comm.record_allreduce(
+                        arg.dat.dim * arg.dat.data.dtype.itemsize
+                    )
+
+        for arg in args:
+            if not arg.is_global and arg.access.writes:
+                self._halo_fresh[arg.dat] = False
+
+    def _localize(self, arg: Arg, r: int) -> Arg:
+        if arg.is_global:
+            return arg
+        return Arg(
+            dat=self.local_dats[arg.dat][r],
+            index=arg.index,
+            map=self.local_maps[arg.map][r] if arg.map is not None else None,
+            access=arg.access,
+        )
+
+    # ------------------------------------------------------------------
+    # Data movement between global and distributed views
+    # ------------------------------------------------------------------
+    def fetch(self, d: Dat) -> np.ndarray:
+        """Gather a dat's owned values back into global element order."""
+        out = np.empty((d.set.size, d.dim), dtype=d.dtype)
+        for r in range(self.nranks):
+            reg = self.halo_plans[d.set].regions[r]
+            out[reg.owned] = self.local_dats[d][r].data[: reg.n_owned]
+        return out
+
+    def update(self, d: Dat, values: np.ndarray) -> None:
+        """Overwrite a dat (global order) on every rank, halos fresh."""
+        values = np.asarray(values, dtype=d.dtype).reshape(d.set.size, d.dim)
+        for r in range(self.nranks):
+            reg = self.halo_plans[d.set].regions[r]
+            self.local_dats[d][r].data[: reg.n_owned] = values[reg.owned]
+        self._halo_fresh[d] = False
+        self.ensure_fresh(d)
+
+    # ------------------------------------------------------------------
+    def load_imbalance(self, set_: Set) -> float:
+        """max/mean owned-element imbalance of one set (Fig 8b's axis)."""
+        sizes = np.array(
+            [self.halo_plans[set_].regions[r].n_owned for r in range(self.nranks)]
+        )
+        mean = sizes.mean()
+        return float(sizes.max() / mean - 1.0) if mean else 0.0

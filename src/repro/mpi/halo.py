@@ -1,0 +1,168 @@
+"""Halo construction: OP2's owner-compute import/export lists.
+
+For every (rank, set) pair the decomposition produces three regions laid
+out contiguously in local numbering::
+
+    [ owned (core first, then boundary) | exec halo | non-exec halo ]
+
+* **owned** — elements assigned to this rank by the partitioner; the
+  *core* prefix touches no halo data and can execute while halo messages
+  are in flight (the ``op_mpi_wait_all`` overlap of paper Fig 2b).
+* **exec halo** — other ranks' elements that indirectly *write* to data
+  owned here; they are executed redundantly so every contribution to
+  owned data is computed locally (OP2's redundant-compute design).
+* **non-exec halo** — read-only copies of remote elements referenced by
+  any owned/exec element through any map.
+
+:class:`HaloPlan` stores, per dat-carrying set, the exchange lists that a
+halo update must copy (owner-local source index → importer-local
+destination index, grouped by rank pair).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+
+@dataclass
+class SetRegions:
+    """Local-numbering layout of one set on one rank."""
+
+    owned: np.ndarray        # global ids, core-first ordering
+    core_size: int
+    exec_halo: np.ndarray    # global ids executed redundantly
+    nonexec_halo: np.ndarray # global ids imported read-only
+
+    @property
+    def n_owned(self) -> int:
+        return self.owned.size
+
+    @property
+    def n_exec(self) -> int:
+        return self.exec_halo.size
+
+    @property
+    def n_nonexec(self) -> int:
+        return self.nonexec_halo.size
+
+    @property
+    def extent(self) -> int:
+        return self.n_owned + self.n_exec + self.n_nonexec
+
+    def local_of_global(self) -> Dict[int, int]:
+        """Global-id → local-id dictionary (owned, exec, nonexec order)."""
+        g2l: Dict[int, int] = {}
+        pos = 0
+        for arr in (self.owned, self.exec_halo, self.nonexec_halo):
+            for g in arr.tolist():
+                g2l[g] = pos
+                pos += 1
+        return g2l
+
+    def l2g(self) -> np.ndarray:
+        return np.concatenate([self.owned, self.exec_halo, self.nonexec_halo])
+
+
+@dataclass
+class ExchangeList:
+    """One direction of a halo update for one set.
+
+    ``src_rank`` owns the elements; ``dst_rank`` imports them into its
+    halo region.  Indices are *local* to each side.
+    """
+
+    src_rank: int
+    dst_rank: int
+    src_local: np.ndarray
+    dst_local: np.ndarray
+
+    @property
+    def count(self) -> int:
+        return self.src_local.size
+
+
+@dataclass
+class HaloPlan:
+    """All exchange lists of one set, plus region layouts per rank."""
+
+    regions: List[SetRegions]
+    exchanges: List[ExchangeList] = field(default_factory=list)
+
+    def total_halo_elements(self) -> int:
+        return sum(r.n_exec + r.n_nonexec for r in self.regions)
+
+
+def build_regions(
+    set_parts: np.ndarray,
+    rank: int,
+    maps_from: List[Tuple[np.ndarray, np.ndarray]],
+    exec_candidates: np.ndarray,
+) -> SetRegions:
+    """Layout one rank's regions for one set.
+
+    Parameters
+    ----------
+    set_parts:
+        Global part assignment of this set.
+    rank:
+        The rank whose layout is being built.
+    maps_from:
+        ``(map_values, target_parts)`` for every map *from* this set —
+        used to split owned elements into core (touch only local targets)
+        and boundary.
+    exec_candidates:
+        Global ids of this set to import as exec halo (computed by the
+        caller from indirect-write reachability).
+    """
+    owned = np.nonzero(set_parts == rank)[0].astype(np.int64)
+    if maps_from:
+        touches_remote = np.zeros(owned.size, dtype=bool)
+        for mv, tparts in maps_from:
+            touches_remote |= (tparts[mv[owned]] != rank).any(axis=1)
+        core = owned[~touches_remote]
+        boundary = owned[touches_remote]
+        owned_sorted = np.concatenate([core, boundary])
+        core_size = core.size
+    else:
+        owned_sorted = owned
+        core_size = owned.size
+    return SetRegions(
+        owned=owned_sorted,
+        core_size=int(core_size),
+        exec_halo=np.asarray(exec_candidates, dtype=np.int64),
+        nonexec_halo=np.zeros(0, dtype=np.int64),
+    )
+
+
+def build_exchanges(
+    regions: List[SetRegions], set_parts: np.ndarray
+) -> List[ExchangeList]:
+    """Derive owner→importer copy lists for every rank's halo entries."""
+    nranks = len(regions)
+    # Owner-local index of each global element (position within owner's
+    # owned array).
+    owner_local = np.full(set_parts.size, -1, dtype=np.int64)
+    for r, reg in enumerate(regions):
+        owner_local[reg.owned] = np.arange(reg.n_owned, dtype=np.int64)
+
+    exchanges: List[ExchangeList] = []
+    for r, reg in enumerate(regions):
+        halo_globals = np.concatenate([reg.exec_halo, reg.nonexec_halo])
+        if halo_globals.size == 0:
+            continue
+        dst_local = reg.n_owned + np.arange(halo_globals.size, dtype=np.int64)
+        owners = set_parts[halo_globals]
+        for src in np.unique(owners):
+            sel = owners == src
+            exchanges.append(
+                ExchangeList(
+                    src_rank=int(src),
+                    dst_rank=r,
+                    src_local=owner_local[halo_globals[sel]],
+                    dst_local=dst_local[sel],
+                )
+            )
+    return exchanges

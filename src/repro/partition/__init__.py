@@ -1,0 +1,18 @@
+"""Mesh partitioning (PT-Scotch substitute) and quality metrics."""
+
+from .geometric import rcb_partition
+from .graph import (
+    adjacency_from_map,
+    greedy_grow_partition,
+    partition_iteration_set,
+)
+from .quality import PartitionQuality, evaluate_partition
+
+__all__ = [
+    "PartitionQuality",
+    "adjacency_from_map",
+    "evaluate_partition",
+    "greedy_grow_partition",
+    "partition_iteration_set",
+    "rcb_partition",
+]

@@ -1,0 +1,58 @@
+"""Recursive coordinate bisection (RCB) partitioner.
+
+A geometric stand-in for PT-Scotch (paper Section 3): the element cloud is
+recursively split along its longest coordinate axis at the weighted
+median, producing compact, well-balanced parts.  Works on any set with
+representative coordinates (cell centroids for meshes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def rcb_partition(coords: np.ndarray, nparts: int) -> np.ndarray:
+    """Partition points into ``nparts`` by recursive coordinate bisection.
+
+    Parameters
+    ----------
+    coords:
+        ``(n, d)`` point coordinates.
+    nparts:
+        Number of parts (need not be a power of two — splits are weighted
+        by the target part counts on each side).
+
+    Returns
+    -------
+    ``(n,)`` int32 part assignment with sizes balanced to within one
+    element per recursion level.
+    """
+    coords = np.asarray(coords, dtype=np.float64)
+    if coords.ndim != 2:
+        raise ValueError("coords must be (n, d)")
+    n = coords.shape[0]
+    if nparts < 1:
+        raise ValueError(f"nparts must be >= 1, got {nparts}")
+    parts = np.zeros(n, dtype=np.int32)
+    if nparts == 1 or n == 0:
+        return parts
+
+    def recurse(idx: np.ndarray, base: int, k: int) -> None:
+        if k == 1 or idx.size == 0:
+            parts[idx] = base
+            return
+        pts = coords[idx]
+        axis = int(np.argmax(pts.max(axis=0) - pts.min(axis=0)))
+        k_left = k // 2
+        # Split position proportional to the child part counts so odd
+        # part counts stay balanced.
+        frac = k_left / k
+        order = np.argsort(pts[:, axis], kind="stable")
+        cut = int(round(frac * idx.size))
+        left = idx[order[:cut]]
+        right = idx[order[cut:]]
+        recurse(left, base, k_left)
+        recurse(right, base + k_left, k - k_left)
+
+    recurse(np.arange(n, dtype=np.int64), 0, nparts)
+    return parts

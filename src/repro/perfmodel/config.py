@@ -1,0 +1,75 @@
+"""Execution configurations the paper benchmarks (Sections 5-6).
+
+An :class:`ExecConfig` names one column of the paper's comparison space:
+which parallel layer (MPI / MPI+OpenMP / OpenCL / CUDA), which
+vectorization strategy (none / compiler auto / explicit intrinsics /
+OpenCL implicit), and which race-handling scheme (two-level coloring or
+the permute variants of Fig 8a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ExecConfig:
+    """One benchmarked execution strategy."""
+
+    key: str
+    label: str
+    parallel: str       # "mpi" | "mpi+openmp" | "opencl" | "cuda"
+    vectorized: str     # "none" | "auto" | "intrinsics" | "implicit"
+    scheme: str = "two_level"
+
+    @property
+    def uses_openmp(self) -> bool:
+        return self.parallel == "mpi+openmp"
+
+    @property
+    def uses_mpi(self) -> bool:
+        return self.parallel in ("mpi", "mpi+openmp")
+
+
+# The named configurations of Figures 5-7.
+SCALAR_MPI = ExecConfig("scalar_mpi", "Scalar MPI", "mpi", "none")
+SCALAR_OPENMP = ExecConfig(
+    "scalar_openmp", "Scalar MPI+OpenMP", "mpi+openmp", "none"
+)
+AUTOVEC_OPENMP = ExecConfig(
+    "autovec_openmp", "Auto-vectorized MPI+OpenMP", "mpi+openmp", "auto",
+    scheme="block_permute",
+)
+VEC_MPI = ExecConfig("vec_mpi", "Vectorized MPI", "mpi", "intrinsics")
+VEC_OPENMP = ExecConfig(
+    "vec_openmp", "Vectorized MPI+OpenMP", "mpi+openmp", "intrinsics"
+)
+OPENCL = ExecConfig("opencl", "OpenCL", "opencl", "implicit")
+CUDA = ExecConfig("cuda", "CUDA", "cuda", "intrinsics")
+
+# Fig 8a coloring-scheme ablation (vectorized execution).
+VEC_FULL_PERMUTE = ExecConfig(
+    "vec_full_permute", "Vectorized (full permute)", "mpi+openmp",
+    "intrinsics", scheme="full_permute",
+)
+VEC_BLOCK_PERMUTE = ExecConfig(
+    "vec_block_permute", "Vectorized (block permute)", "mpi+openmp",
+    "intrinsics", scheme="block_permute",
+)
+CUDA_FULL_PERMUTE = ExecConfig(
+    "cuda_full_permute", "CUDA (full permute)", "cuda", "intrinsics",
+    scheme="full_permute",
+)
+CUDA_BLOCK_PERMUTE = ExecConfig(
+    "cuda_block_permute", "CUDA (block permute)", "cuda", "intrinsics",
+    scheme="block_permute",
+)
+
+ALL_CONFIGS = {
+    c.key: c
+    for c in (
+        SCALAR_MPI, SCALAR_OPENMP, AUTOVEC_OPENMP, VEC_MPI, VEC_OPENMP,
+        OPENCL, CUDA, VEC_FULL_PERMUTE, VEC_BLOCK_PERMUTE,
+        CUDA_FULL_PERMUTE, CUDA_BLOCK_PERMUTE,
+    )
+}

@@ -1,0 +1,157 @@
+"""Benchmark machine specifications (paper Table I).
+
+These numbers are transcribed from the paper: two dual-socket Xeons, the
+Xeon Phi 5110P, and the Tesla K40, with both vendor peaks and measured
+STREAM/GEMM results that the paper uses as practical ceilings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """One evaluation platform.
+
+    Bandwidths are GB/s, compute GFLOP/s; ``stream_gbs``/``gemm_*`` are
+    the measured practical peaks of Table I.
+    """
+
+    name: str
+    arch: str                 # "cpu", "phi", "gpu"
+    description: str
+    clock_ghz: float
+    cores: int
+    llc_mb: float
+    peak_bw_gbs: float
+    stream_gbs: float
+    peak_gflops_dp: float
+    peak_gflops_sp: float
+    gemm_gflops_dp: float
+    gemm_gflops_sp: float
+    #: SIMD lanes per core: DP/SP (warp width for the GPU).
+    lanes_dp: int
+    lanes_sp: int
+
+    def lanes(self, dtype) -> int:
+        return self.lanes_sp if np.dtype(dtype) == np.float32 else self.lanes_dp
+
+    def peak_gflops(self, dtype) -> float:
+        return (
+            self.peak_gflops_sp
+            if np.dtype(dtype) == np.float32
+            else self.peak_gflops_dp
+        )
+
+    def gemm_gflops(self, dtype) -> float:
+        return (
+            self.gemm_gflops_sp
+            if np.dtype(dtype) == np.float32
+            else self.gemm_gflops_dp
+        )
+
+    @property
+    def flop_per_byte_dp(self) -> float:
+        """Machine balance (Table I row "FLOP/byte"): GEMM / STREAM."""
+        return self.gemm_gflops_dp / self.stream_gbs
+
+    @property
+    def flop_per_byte_sp(self) -> float:
+        return self.gemm_gflops_sp / self.stream_gbs
+
+
+#: The four platforms of Table I, keyed as the paper names them.
+MACHINES: Dict[str, MachineSpec] = {
+    "CPU 1": MachineSpec(
+        name="CPU 1",
+        arch="cpu",
+        description="2x Xeon E5-2640 (Sandy Bridge)",
+        clock_ghz=2.4,
+        cores=12,
+        llc_mb=30.0,
+        peak_bw_gbs=85.2,
+        stream_gbs=66.8,
+        peak_gflops_dp=240.0,
+        peak_gflops_sp=480.0,
+        gemm_gflops_dp=229.0,
+        gemm_gflops_sp=433.0,
+        lanes_dp=4,
+        lanes_sp=8,
+    ),
+    "CPU 2": MachineSpec(
+        name="CPU 2",
+        arch="cpu",
+        description="2x Xeon E5-2697 v2 (Ivy Bridge)",
+        clock_ghz=2.7,
+        cores=24,
+        llc_mb=60.0,
+        peak_bw_gbs=119.4,
+        stream_gbs=98.76,
+        peak_gflops_dp=518.0,
+        peak_gflops_sp=1036.0,
+        gemm_gflops_dp=510.0,
+        gemm_gflops_sp=944.0,
+        lanes_dp=4,
+        lanes_sp=8,
+    ),
+    "Xeon Phi": MachineSpec(
+        name="Xeon Phi",
+        arch="phi",
+        description="Xeon Phi 5110P (60 cores used)",
+        clock_ghz=1.053,
+        cores=60,
+        llc_mb=30.0,
+        peak_bw_gbs=320.0,
+        stream_gbs=171.0,
+        peak_gflops_dp=1010.0,
+        peak_gflops_sp=2020.0,
+        gemm_gflops_dp=833.0,
+        gemm_gflops_sp=1729.0,
+        lanes_dp=8,
+        lanes_sp=16,
+    ),
+    "K40": MachineSpec(
+        name="K40",
+        arch="gpu",
+        description="NVIDIA Tesla K40",
+        clock_ghz=0.87,
+        cores=2880,
+        llc_mb=1.5,
+        peak_bw_gbs=288.0,
+        stream_gbs=244.0,
+        peak_gflops_dp=1430.0,
+        peak_gflops_sp=4290.0,
+        gemm_gflops_dp=1420.0,
+        gemm_gflops_sp=3730.0,
+        lanes_dp=32,
+        lanes_sp=32,
+    ),
+}
+
+
+def table1_rows():
+    """Table I as printable rows (benchmark harness hook)."""
+    rows = []
+    for spec in MACHINES.values():
+        rows.append(
+            {
+                "System": spec.name,
+                "Architecture": spec.description,
+                "Clock (GHz)": spec.clock_ghz,
+                "Cores": spec.cores,
+                "LLC (MB)": spec.llc_mb,
+                "Peak BW (GB/s)": spec.peak_bw_gbs,
+                "Stream BW (GB/s)": spec.stream_gbs,
+                "Peak GFLOPS DP(SP)": f"{spec.peak_gflops_dp:.0f}"
+                f"({spec.peak_gflops_sp:.0f})",
+                "GEMM GFLOPS DP(SP)": f"{spec.gemm_gflops_dp:.0f}"
+                f"({spec.gemm_gflops_sp:.0f})",
+                "FLOP/byte DP(SP)": f"{spec.flop_per_byte_dp:.2f}"
+                f"({spec.flop_per_byte_sp:.2f})",
+            }
+        )
+    return rows

@@ -1,0 +1,272 @@
+"""Roofline-style per-kernel time prediction.
+
+For one (kernel, machine, configuration) triple the model computes three
+candidate times and takes the binding one, plus scheduling overheads:
+
+``T_mem``
+    useful bytes (infinite-cache convention) over the achieved fraction
+    of STREAM bandwidth for the kernel's access class;
+``T_comp``
+    arithmetic cycles — scalar code pays ``cycles_per_flop`` per FLOP on
+    one lane, vectorized code sustains a fraction of GEMM throughput;
+    transcendentals carry their own (large) scalar cycle cost;
+``T_scatter``
+    the serialized colored scatter of indirect increments (two-level
+    scheme only — the permute schemes trade it for worse memory
+    behaviour via the Fig 8a efficiency multipliers).
+
+Predictions are deliberately *explanatory*: each carries its binding
+bottleneck ("bandwidth" / "compute" / "scatter"), which is how the
+paper's Section 6.6 classifies kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from .calibration import CALIBRATION, ArchCalibration
+from .config import ExecConfig
+from .machine import MachineSpec
+from .workloads import AppWorkload, KernelProfile
+
+#: Kernels the Intel compiler auto-vectorized in the paper's *CPU* runs
+#: (Section 5: "the single exception being adt_calc for OpenMP").
+CPU_AUTOVEC_WHITELIST = frozenset({"adt_calc"})
+
+
+@dataclass(frozen=True)
+class KernelPrediction:
+    """Modelled execution of one kernel over a whole application run."""
+
+    name: str
+    time_s: float              # total over all calls
+    time_per_call_s: float
+    bandwidth_gbs: float       # useful bytes / time
+    gflops: float
+    bound: str                 # "bandwidth" | "compute" | "scatter"
+    vectorized: bool
+
+
+@dataclass(frozen=True)
+class AppPrediction:
+    """Modelled execution of a full application run."""
+
+    machine: str
+    config: str
+    kernels: Dict[str, KernelPrediction]
+    mpi_wait_s: float
+    total_s: float
+
+    def kernel_time(self, name: str) -> float:
+        return self.kernels[name].time_s
+
+
+def _is_vectorized(profile: KernelProfile, cfg: ExecConfig,
+                   machine: MachineSpec) -> bool:
+    """Does this kernel execute vectorized under this configuration?"""
+    if not profile.has_vector_form:
+        return False
+    if cfg.vectorized == "none":
+        return False
+    if cfg.vectorized == "intrinsics":
+        return True
+    if cfg.vectorized == "auto":
+        # Phi's IMCI gathers let the compiler vectorize everything once a
+        # permute scheme provides independence; AVX mostly refuses.
+        if machine.arch == "phi":
+            return True
+        return profile.name in CPU_AUTOVEC_WHITELIST
+    if cfg.vectorized == "implicit":  # OpenCL
+        if machine.arch in ("phi", "gpu"):
+            return True
+        return profile.vectorizable_simt_cpu
+    raise ValueError(f"Unknown vectorization mode {cfg.vectorized!r}")
+
+
+def _mem_eff(cal: ArchCalibration, cfg: ExecConfig, kind: str,
+             vectorized: bool, machine: MachineSpec) -> float:
+    if cfg.vectorized == "auto" and machine.arch == "phi":
+        table = cal.mem_eff_auto
+    elif vectorized and cfg.vectorized != "none":
+        table = cal.mem_eff_vec
+    else:
+        table = cal.mem_eff_scalar
+    eff = table[kind]
+    if kind == "scatter":
+        eff *= cal.scheme_eff.get(cfg.scheme, 1.0)
+    if cfg.uses_openmp and kind != "direct":
+        eff *= cal.openmp_reuse_penalty
+    if machine.arch == "cpu" and kind != "direct":
+        # Section 6.6: CPU 2's doubled last-level cache makes it "much
+        # more efficient on indirect kernels than one would expect from
+        # the difference in available bandwidth".
+        eff *= 1.0 + 0.35 * (machine.llc_mb / 30.0 - 1.0)
+    return eff
+
+
+def _component_times(
+    profile: KernelProfile,
+    machine: MachineSpec,
+    cal,
+    cfg: ExecConfig,
+    sizes: Dict[str, int],
+    dtype,
+    vectorized: bool,
+):
+    """(t_mem, t_comp, t_scatter) per call for one execution mode."""
+    itemsize = np.dtype(dtype).itemsize
+    n = profile.n_elements(sizes)
+    sp = np.dtype(dtype) == np.float32
+    core_hz = machine.clock_ghz * 1e9
+
+    # ---- memory --------------------------------------------------------
+    useful = profile.transfer.useful_bytes(n, sizes, itemsize)
+    eff = _mem_eff(cal, cfg, profile.kind, vectorized, machine)
+    t_mem = useful / (machine.stream_gbs * 1e9 * eff)
+
+    # ---- compute --------------------------------------------------------
+    if vectorized:
+        flop_rate = machine.gemm_gflops(dtype) * 1e9 * cal.vec_compute_eff
+        transc_cycles = (
+            cal.transc_cycles_scalar * (0.75 if sp else 1.0)
+            / cal.transc_vec_speedup
+        )
+    elif machine.arch == "gpu":
+        # CUDA is always warp-wide; there is no scalar GPU mode.
+        flop_rate = machine.gemm_gflops(dtype) * 1e9 * cal.vec_compute_eff
+        transc_cycles = cal.transc_cycles_scalar
+    else:
+        # Scalar: one op per cycles_per_flop per core, no FMA/SIMD credit.
+        flop_rate = core_hz * machine.cores / cal.cycles_per_flop_scalar
+        transc_cycles = cal.transc_cycles_scalar * (0.75 if sp else 1.0)
+    t_flops = n * profile.flops / flop_rate
+    if machine.arch == "gpu":
+        transc_rate = machine.peak_gflops(dtype) * 1e9 / 8.0
+        t_transc = (
+            n * profile.transcendentals * cal.transc_cycles_scalar / transc_rate
+        )
+    else:
+        t_transc = (
+            n * profile.transcendentals * transc_cycles
+            / (core_hz * machine.cores)
+        )
+    t_comp = t_flops + t_transc
+
+    # ---- serialized scatter (two-level only) ----------------------------
+    t_scatter = 0.0
+    if (
+        vectorized
+        and profile.kind == "scatter"
+        and cfg.scheme == "two_level"
+        and machine.arch != "gpu"
+        and profile.inc_values
+    ):
+        # The sequential store out of the vector register; scalar code
+        # already serializes everything, so only vector execution pays.
+        t_scatter = (
+            n * profile.inc_values * cal.scatter_cycles
+            / (core_hz * machine.cores)
+        )
+    return t_mem, t_comp, t_scatter, useful
+
+
+def predict_kernel(
+    profile: KernelProfile,
+    machine: MachineSpec,
+    cfg: ExecConfig,
+    sizes: Dict[str, int],
+    dtype=np.float64,
+    n_iters: int = 1000,
+    block_size: int = 256,
+) -> KernelPrediction:
+    """Predict one kernel's aggregate time over a full run."""
+    cal = CALIBRATION[machine.arch]
+    n = profile.n_elements(sizes)
+    calls = profile.calls_per_iter * n_iters
+    vectorized = _is_vectorized(profile, cfg, machine)
+
+    t_mem, t_comp, t_scatter, useful = _component_times(
+        profile, machine, cal, cfg, sizes, dtype, vectorized
+    )
+    if cfg.vectorized == "implicit" and vectorized and machine.arch != "gpu":
+        # OpenCL's implicit vectorization reaches only a fraction of
+        # intrinsics quality (Section 6.3): blend scalar and vector
+        # component times.  Scatter kernels get no credit — their
+        # colored increments serialize in the OpenCL code path too.
+        q = 0.0 if profile.kind == "scatter" else cal.opencl_vec_quality
+        s_mem, s_comp, s_scatter, _ = _component_times(
+            profile, machine, cal, cfg, sizes, dtype, False
+        )
+        t_mem = s_mem + q * (t_mem - s_mem)
+        t_comp = s_comp + q * (t_comp - s_comp)
+        t_scatter = s_scatter + q * (t_scatter - s_scatter)
+
+    t_kernel = max(t_mem, t_comp, t_scatter)
+    bound = (
+        "bandwidth"
+        if t_kernel == t_mem
+        else ("compute" if t_kernel == t_comp else "scatter")
+    )
+
+    # ---- per-call scheduling overheads ----------------------------------
+    overhead = 0.0
+    if cfg.parallel == "opencl":
+        # Work-groups are scheduled as TBB tasks spread over the cores.
+        nblocks = max(1, n // block_size)
+        overhead = nblocks * cal.opencl_block_overhead_s / machine.cores
+        overhead += cal.openmp_loop_overhead_s
+    elif cfg.uses_openmp:
+        overhead = cal.openmp_loop_overhead_s
+    elif cfg.parallel == "cuda":
+        overhead = cal.openmp_loop_overhead_s  # launch latency
+
+    t_call = t_kernel + overhead
+    total = t_call * calls
+    return KernelPrediction(
+        name=profile.name,
+        time_s=total,
+        time_per_call_s=t_call,
+        bandwidth_gbs=useful / t_call / 1e9,
+        gflops=n * profile.flops / t_call / 1e9,
+        bound=bound,
+        vectorized=vectorized,
+    )
+
+
+def predict_app(
+    workload: AppWorkload,
+    machine: MachineSpec,
+    cfg: ExecConfig,
+    dtype=np.float64,
+    block_size: int = 256,
+    small_problem: Optional[bool] = None,
+) -> AppPrediction:
+    """Predict a full application run (all kernels + MPI waits)."""
+    cal = CALIBRATION[machine.arch]
+    kernels = {}
+    for profile in workload.profiles:
+        kernels[profile.name] = predict_kernel(
+            profile, machine, cfg, workload.sizes, dtype,
+            workload.n_iters, block_size,
+        )
+    compute_total = sum(k.time_s for k in kernels.values())
+
+    mpi_wait = 0.0
+    if cfg.uses_mpi:
+        if small_problem is None:
+            small_problem = workload.sizes.get("cells", 0) < 1_000_000
+        frac = cal.mpi_wait_small if small_problem else cal.mpi_wait_large
+        if cfg.parallel == "mpi" and machine.arch == "phi":
+            frac += cal.pure_mpi_penalty
+        mpi_wait = compute_total * frac / (1.0 - frac)
+
+    return AppPrediction(
+        machine=machine.name,
+        config=cfg.key,
+        kernels=kernels,
+        mpi_wait_s=mpi_wait,
+        total_s=compute_total + mpi_wait,
+    )

@@ -1,0 +1,46 @@
+"""SIMD substrate: vector-register emulation and branchless intrinsics.
+
+``VecReg``/``IntVec``/``Mask`` model the paper's C++ wrapper classes over
+AVX/IMCI registers (Fig 4); the intrinsics helpers (``select``, ``vsqrt``,
+...) are the vocabulary vector kernels use instead of branches.
+
+Vector widths, following the paper: AVX holds 4 doubles / 8 floats
+(256-bit), IMCI holds 8 doubles / 16 floats (512-bit).
+"""
+
+import numpy as np
+
+from .intrinsics import select, vabs, vfma, vmax, vmin, vrecip, vsqrt
+from .vecreg import IntVec, Mask, VecReg
+
+#: Hardware vector widths in *lanes* per dtype (paper Section 2).
+VECTOR_WIDTH = {
+    ("avx", np.dtype(np.float64)): 4,
+    ("avx", np.dtype(np.float32)): 8,
+    ("imci", np.dtype(np.float64)): 8,
+    ("imci", np.dtype(np.float32)): 16,
+}
+
+
+def vector_width(isa: str, dtype) -> int:
+    """Lanes per register for an ISA/dtype pair."""
+    key = (isa, np.dtype(dtype))
+    if key not in VECTOR_WIDTH:
+        raise KeyError(f"No vector width known for ISA {isa!r} dtype {dtype!r}")
+    return VECTOR_WIDTH[key]
+
+
+__all__ = [
+    "IntVec",
+    "Mask",
+    "VECTOR_WIDTH",
+    "VecReg",
+    "select",
+    "vabs",
+    "vfma",
+    "vmax",
+    "vmin",
+    "vrecip",
+    "vsqrt",
+    "vector_width",
+]

@@ -1,0 +1,284 @@
+"""Fixed-width vector-register emulation (the paper's ``F64vec4/F64vec8``).
+
+The paper hides AVX/IMCI intrinsics behind C++ wrapper classes with
+overloaded operators and gather/scatter constructors (Fig 4), so generated
+user kernels keep their arithmetic expressions while operating on packed
+vectors.  :class:`VecReg` is the Python equivalent: a fixed-width lane
+container over a NumPy buffer with
+
+* broadcast / aligned-load / strided-load / mapped-gather constructors,
+* overloaded arithmetic and comparisons (comparisons yield lane masks),
+* aligned-store / strided-store / mapped-scatter / masked variants,
+* :func:`repro.simd.intrinsics.select` for branchless conditionals.
+
+Backends use whole-array NumPy in their hot paths for speed; ``VecReg``
+exists to model the programming technique faithfully, to validate that
+model against NumPy semantics (property tests), and to demonstrate the
+explicit pack/compute/scatter pipeline in examples.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+Number = Union[int, float]
+
+
+class Mask:
+    """A per-lane boolean mask (result of VecReg comparisons)."""
+
+    __slots__ = ("lanes",)
+
+    def __init__(self, lanes: np.ndarray) -> None:
+        self.lanes = np.asarray(lanes, dtype=bool)
+
+    @property
+    def width(self) -> int:
+        return self.lanes.size
+
+    def __and__(self, other: "Mask") -> "Mask":
+        return Mask(self.lanes & other.lanes)
+
+    def __or__(self, other: "Mask") -> "Mask":
+        return Mask(self.lanes | other.lanes)
+
+    def __xor__(self, other: "Mask") -> "Mask":
+        return Mask(self.lanes ^ other.lanes)
+
+    def __invert__(self) -> "Mask":
+        return Mask(~self.lanes)
+
+    def any(self) -> bool:
+        return bool(self.lanes.any())
+
+    def all(self) -> bool:
+        return bool(self.lanes.all())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Mask({self.lanes.tolist()})"
+
+
+class VecReg:
+    """A packed vector of ``width`` lanes of one dtype.
+
+    Construction mirrors the paper's wrapper-class constructors:
+
+    ``VecReg.broadcast(x, width)``
+        splat a scalar into every lane;
+    ``VecReg.load(buf, offset, width)``
+        contiguous (aligned) load — ``_mm256_load_pd``;
+    ``VecReg.load_strided(buf, start, stride, width)``
+        strided gather of AoS components — the ``doublev(&data[n*4+d], 4)``
+        pattern of Fig 3b;
+    ``VecReg.gather(buf, idx)``
+        mapping-based gather — ``_mm512_i32logather_pd``.
+    """
+
+    __slots__ = ("lanes",)
+
+    def __init__(self, lanes: np.ndarray) -> None:
+        lanes = np.asarray(lanes)
+        if lanes.ndim != 1:
+            raise ValueError("VecReg lanes must be one-dimensional")
+        self.lanes = lanes.copy()
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def broadcast(cls, value: Number, width: int, dtype=np.float64) -> "VecReg":
+        return cls(np.full(width, value, dtype=dtype))
+
+    @classmethod
+    def load(cls, buf: np.ndarray, offset: int, width: int) -> "VecReg":
+        buf = np.ravel(buf)
+        if offset < 0 or offset + width > buf.size:
+            raise IndexError(
+                f"aligned load [{offset}, {offset + width}) out of bounds "
+                f"for buffer of size {buf.size}"
+            )
+        return cls(buf[offset : offset + width])
+
+    @classmethod
+    def load_strided(
+        cls, buf: np.ndarray, start: int, stride: int, width: int
+    ) -> "VecReg":
+        buf = np.ravel(buf)
+        idx = start + stride * np.arange(width)
+        return cls(buf[idx])
+
+    @classmethod
+    def gather(cls, buf: np.ndarray, idx: Union[np.ndarray, "IntVec"]) -> "VecReg":
+        buf = np.ravel(buf)
+        if isinstance(idx, IntVec):
+            idx = idx.lanes
+        return cls(buf[np.asarray(idx, dtype=np.int64)])
+
+    # -- stores ----------------------------------------------------------
+    def store(self, buf: np.ndarray, offset: int) -> None:
+        """Contiguous (aligned) store."""
+        buf = np.ravel(buf)
+        buf[offset : offset + self.width] = self.lanes
+
+    def store_strided(self, buf: np.ndarray, start: int, stride: int) -> None:
+        buf = np.ravel(buf)
+        idx = start + stride * np.arange(self.width)
+        buf[idx] = self.lanes
+
+    def scatter(self, buf: np.ndarray, idx: Union[np.ndarray, "IntVec"]) -> None:
+        """Mapping-based scatter (IMCI scatter / sequential AVX fallback).
+
+        Lanes are written in ascending lane order, so when two lanes target
+        the same address the *last* lane wins — the hardware semantics of
+        ``_mm512_i32loscatter_pd``.  Race-free callers must guarantee lane
+        independence (that is exactly what the permute schemes provide).
+        """
+        buf = np.ravel(buf)
+        if isinstance(idx, IntVec):
+            idx = idx.lanes
+        idx = np.asarray(idx, dtype=np.int64)
+        # Explicit lane loop: replicates in-order write semantics even on
+        # duplicate indices (NumPy fancy-assignment also takes the last
+        # write, but we keep the loop explicit and testable for clarity).
+        for lane in range(self.width):
+            buf[idx[lane]] = self.lanes[lane]
+
+    def scatter_add(self, buf: np.ndarray, idx: Union[np.ndarray, "IntVec"]) -> None:
+        """Accumulating scatter — serialized per lane like the paper's
+        colored increment (duplicate targets accumulate correctly)."""
+        buf = np.ravel(buf)
+        if isinstance(idx, IntVec):
+            idx = idx.lanes
+        np.add.at(buf, np.asarray(idx, dtype=np.int64), self.lanes)
+
+    def store_masked(self, buf: np.ndarray, offset: int, mask: Mask) -> None:
+        buf = np.ravel(buf)
+        sel = mask.lanes
+        buf[offset : offset + self.width][sel] = self.lanes[sel]
+
+    # -- properties -------------------------------------------------------
+    @property
+    def width(self) -> int:
+        return self.lanes.size
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.lanes.dtype
+
+    def __getitem__(self, lane: int) -> Number:
+        return self.lanes[lane]
+
+    def copy(self) -> "VecReg":
+        return VecReg(self.lanes)
+
+    # -- arithmetic -------------------------------------------------------
+    def _coerce(self, other) -> np.ndarray:
+        if isinstance(other, VecReg):
+            if other.width != self.width:
+                raise ValueError(
+                    f"width mismatch: {self.width} vs {other.width}"
+                )
+            return other.lanes
+        return np.asarray(other, dtype=self.dtype)
+
+    def __add__(self, other) -> "VecReg":
+        return VecReg(self.lanes + self._coerce(other))
+
+    def __radd__(self, other) -> "VecReg":
+        return VecReg(self._coerce(other) + self.lanes)
+
+    def __sub__(self, other) -> "VecReg":
+        return VecReg(self.lanes - self._coerce(other))
+
+    def __rsub__(self, other) -> "VecReg":
+        return VecReg(self._coerce(other) - self.lanes)
+
+    def __mul__(self, other) -> "VecReg":
+        return VecReg(self.lanes * self._coerce(other))
+
+    def __rmul__(self, other) -> "VecReg":
+        return VecReg(self._coerce(other) * self.lanes)
+
+    def __truediv__(self, other) -> "VecReg":
+        return VecReg(self.lanes / self._coerce(other))
+
+    def __rtruediv__(self, other) -> "VecReg":
+        return VecReg(self._coerce(other) / self.lanes)
+
+    def __neg__(self) -> "VecReg":
+        return VecReg(-self.lanes)
+
+    def __abs__(self) -> "VecReg":
+        return VecReg(np.abs(self.lanes))
+
+    # -- fused ops (FMA exists in both AVX2 and IMCI) ----------------------
+    def fma(self, mul: "VecReg", add: "VecReg") -> "VecReg":
+        """``self * mul + add`` as one op (``_mm256_fmadd_pd``)."""
+        return VecReg(self.lanes * self._coerce(mul) + self._coerce(add))
+
+    # -- comparisons (produce masks) ---------------------------------------
+    def __lt__(self, other) -> Mask:
+        return Mask(self.lanes < self._coerce(other))
+
+    def __le__(self, other) -> Mask:
+        return Mask(self.lanes <= self._coerce(other))
+
+    def __gt__(self, other) -> Mask:
+        return Mask(self.lanes > self._coerce(other))
+
+    def __ge__(self, other) -> Mask:
+        return Mask(self.lanes >= self._coerce(other))
+
+    def eq(self, other) -> Mask:
+        """Lane equality (named method: ``==`` stays Python identity)."""
+        return Mask(self.lanes == self._coerce(other))
+
+    # -- horizontal ops ----------------------------------------------------
+    def hsum(self) -> Number:
+        """Horizontal sum — folds a reduction accumulator (Section 4.1)."""
+        return self.lanes.sum()
+
+    def hmin(self) -> Number:
+        return self.lanes.min()
+
+    def hmax(self) -> Number:
+        return self.lanes.max()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"VecReg({self.lanes.tolist()})"
+
+
+class IntVec:
+    """Packed integer indices (``I32vec4/I32vec8``) for gather/scatter."""
+
+    __slots__ = ("lanes",)
+
+    def __init__(self, lanes: np.ndarray) -> None:
+        self.lanes = np.asarray(lanes, dtype=np.int64).copy()
+        if self.lanes.ndim != 1:
+            raise ValueError("IntVec lanes must be one-dimensional")
+
+    @classmethod
+    def load(cls, buf: np.ndarray, offset: int, width: int) -> "IntVec":
+        buf = np.ravel(buf)
+        return cls(buf[offset : offset + width])
+
+    @property
+    def width(self) -> int:
+        return self.lanes.size
+
+    def __add__(self, other) -> "IntVec":
+        o = other.lanes if isinstance(other, IntVec) else other
+        return IntVec(self.lanes + o)
+
+    def __mul__(self, other) -> "IntVec":
+        o = other.lanes if isinstance(other, IntVec) else other
+        return IntVec(self.lanes * o)
+
+    __rmul__ = __mul__
+
+    def __getitem__(self, lane: int) -> int:
+        return int(self.lanes[lane])
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"IntVec({self.lanes.tolist()})"

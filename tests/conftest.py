@@ -1,0 +1,50 @@
+"""Shared fixtures: small meshes, kernel sets, runtime configurations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Runtime
+from repro.mesh import make_airfoil_mesh, make_tri_mesh
+
+
+@pytest.fixture(scope="session")
+def airfoil_mesh_small():
+    return make_airfoil_mesh(16, 8)
+
+
+@pytest.fixture(scope="session")
+def tri_mesh_small():
+    return make_tri_mesh(10, 8)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+#: (backend name, scheme, options) matrix every equivalence test sweeps.
+BACKEND_MATRIX = [
+    ("sequential", "two_level", {}),
+    ("codegen", "two_level", {}),
+    ("openmp", "two_level", {}),
+    ("vectorized", "two_level", {}),
+    ("vectorized", "full_permute", {}),
+    ("vectorized", "block_permute", {}),
+    ("simt", "two_level", {"device": "cpu"}),
+    ("simt", "two_level", {"device": "phi"}),
+    ("autovec", "full_permute", {}),
+    ("autovec", "block_permute", {}),
+]
+
+
+def runtime_for(name: str, scheme: str, options: dict, block_size: int = 64
+                ) -> Runtime:
+    from repro.core import make_backend
+
+    return Runtime(
+        backend=make_backend(name, **options),
+        block_size=block_size,
+        scheme=scheme,
+    )

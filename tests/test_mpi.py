@@ -1,0 +1,494 @@
+"""Tests for the simulated-MPI substrate: halos, exchanges, equivalence.
+
+Central property: any sequence of parallel loops over a distributed
+problem yields exactly the serial result on owned data, with halo
+exchanges happening lazily and being accounted.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    INC,
+    MIN,
+    READ,
+    WRITE,
+    Dat,
+    Global,
+    Map,
+    Runtime,
+    Set,
+    arg_dat,
+    arg_gbl,
+    kernel,
+    par_loop,
+)
+from repro.core.access import IDX_ID
+from repro.mpi import DistContext, SimComm
+from repro.partition import partition_iteration_set, rcb_partition
+
+
+# ----------------------------------------------------------------------
+# Kernels used throughout.
+# ----------------------------------------------------------------------
+@kernel("edge_inc", flops=3)
+def edge_inc(w, x0, x1, a0, a1):
+    a0[0] += w[0] * x1[0]
+    a1[0] += w[0] * x0[0]
+
+
+@edge_inc.vectorized
+def edge_inc_vec(w, x0, x1, a0, a1):
+    a0[:, 0] += w[:, 0] * x1[:, 0]
+    a1[:, 0] += w[:, 0] * x0[:, 0]
+
+
+@kernel("node_scale", flops=1)
+def node_scale(x):
+    x[0] = x[0] * 2.0
+
+
+@node_scale.vectorized
+def node_scale_vec(x):
+    x[:, 0] = x[:, 0] * 2.0
+
+
+@kernel("edge_read_nodes", flops=1)
+def edge_read_nodes(x0, x1, out):
+    out[0] = x0[0] + x1[0]
+
+
+@edge_read_nodes.vectorized
+def edge_read_nodes_vec(x0, x1, out):
+    out[:, 0] = x0[:, 0] + x1[:, 0]
+
+
+def chain_problem(n_nodes=23, seed=0):
+    """1-D chain: edges between consecutive nodes."""
+    rng = np.random.default_rng(seed)
+    nodes = Set(n_nodes, "nodes")
+    edges = Set(n_nodes - 1, "edges")
+    conn = np.stack([np.arange(n_nodes - 1), np.arange(1, n_nodes)], axis=1)
+    e2n = Map(edges, nodes, 2, conn, "e2n")
+    w = rng.standard_normal((n_nodes - 1, 1))
+    x = rng.standard_normal((n_nodes, 1))
+    return nodes, edges, e2n, conn, w, x
+
+
+def build_ctx(nodes, edges, e2n, conn, nranks, dats, backend="vectorized"):
+    node_parts = rcb_partition(
+        np.stack([np.arange(nodes.size, dtype=float),
+                  np.zeros(nodes.size)], axis=1), nranks
+    )
+    edge_parts = partition_iteration_set(conn, node_parts)
+    ctx = DistContext(nranks, backend=backend, block_size=4)
+    ctx.add_set(nodes, node_parts)
+    ctx.add_set(edges, edge_parts)
+    ctx.add_map(e2n)
+    for d in dats:
+        ctx.add_dat(d)
+    ctx.finalize()
+    return ctx
+
+
+class TestSimComm:
+    def test_message_accounting(self):
+        c = SimComm(3)
+        c.record_message(0, 1, 100)
+        c.record_message(1, 0, 50)
+        c.record_message(2, 2, 999)  # self-copy: not a message
+        assert c.stats.messages == 2
+        assert c.stats.bytes == 150
+        assert c.neighbour_counts() == {0: 1, 1: 1}
+
+    def test_allreduce_accounting(self):
+        c = SimComm(4)
+        c.record_allreduce(8)
+        assert c.stats.reductions == 1
+        assert c.stats.messages == 6
+
+    def test_rank_bounds(self):
+        c = SimComm(2)
+        with pytest.raises(ValueError):
+            c.record_message(0, 5, 1)
+        with pytest.raises(ValueError):
+            SimComm(0)
+
+    def test_reset(self):
+        c = SimComm(2)
+        c.record_message(0, 1, 10)
+        c.stats.reset()
+        assert c.stats.messages == 0 and not c.stats.by_pair
+
+
+class TestDecomposition:
+    @pytest.mark.parametrize("nranks", [1, 2, 3, 5])
+    def test_regions_partition_owned(self, nranks):
+        nodes, edges, e2n, conn, w, x = chain_problem()
+        wd = Dat(edges, 1, w, name="w")
+        ctx = build_ctx(nodes, edges, e2n, conn, nranks, [wd])
+        total = sum(
+            ctx.halo_plans[nodes].regions[r].n_owned for r in range(nranks)
+        )
+        assert total == nodes.size
+        # Owned sets are disjoint.
+        seen = set()
+        for r in range(nranks):
+            owned = set(ctx.halo_plans[nodes].regions[r].owned.tolist())
+            assert not (seen & owned)
+            seen |= owned
+
+    def test_core_elements_touch_no_halo(self):
+        nodes, edges, e2n, conn, w, x = chain_problem()
+        wd = Dat(edges, 1, w, name="w")
+        ctx = build_ctx(nodes, edges, e2n, conn, 3, [wd])
+        for r in range(3):
+            lm = ctx.local_maps[e2n][r]
+            ls = ctx.local_sets[edges][r]
+            if ls.core_size:
+                core_targets = lm.values[: ls.core_size]
+                assert core_targets.max() < ctx.local_sets[nodes][r].size
+
+    def test_exec_halo_covers_remote_writers(self):
+        # Every edge that touches a rank's owned node must be executed by
+        # that rank (owned or exec halo).
+        nodes, edges, e2n, conn, w, x = chain_problem()
+        wd = Dat(edges, 1, w, name="w")
+        ctx = build_ctx(nodes, edges, e2n, conn, 3, [wd])
+        for r in range(3):
+            reg_e = ctx.halo_plans[edges].regions[r]
+            reg_n = ctx.halo_plans[nodes].regions[r]
+            executed = set(reg_e.owned.tolist()) | set(
+                reg_e.exec_halo.tolist()
+            )
+            owned_nodes = set(reg_n.owned.tolist())
+            for e in range(edges.size):
+                if set(conn[e].tolist()) & owned_nodes:
+                    assert e in executed
+
+    def test_unregistered_set_rejected(self):
+        nodes, edges, e2n, conn, w, x = chain_problem()
+        ctx = DistContext(2)
+        ctx.add_set(nodes, np.zeros(nodes.size, dtype=np.int32))
+        ctx.add_map(e2n)
+        with pytest.raises(ValueError, match="unregistered set"):
+            ctx.finalize()
+
+    def test_partition_validation(self):
+        nodes = Set(5, "n")
+        ctx = DistContext(2)
+        with pytest.raises(ValueError):
+            ctx.add_set(nodes, np.zeros(3, dtype=np.int32))
+        with pytest.raises(ValueError):
+            ctx.add_set(nodes, np.full(5, 7, dtype=np.int32))
+
+    def test_double_finalize_rejected(self):
+        nodes, edges, e2n, conn, w, x = chain_problem()
+        wd = Dat(edges, 1, w, name="w")
+        ctx = build_ctx(nodes, edges, e2n, conn, 2, [wd])
+        with pytest.raises(RuntimeError):
+            ctx.finalize()
+        with pytest.raises(RuntimeError):
+            ctx.add_set(Set(3), np.zeros(3, np.int32))
+
+
+class TestDistributedEquivalence:
+    @pytest.mark.parametrize("nranks", [1, 2, 3, 4])
+    @pytest.mark.parametrize("backend", ["sequential", "vectorized", "simt"])
+    def test_inc_loop_matches_serial(self, nranks, backend):
+        nodes, edges, e2n, conn, w, x = chain_problem()
+        wd = Dat(edges, 1, w, name="w")
+        xd = Dat(nodes, 1, x, name="x")
+        acc = Dat(nodes, 1, name="acc")
+
+        ref = Dat(nodes, 1, name="ref")
+        par_loop(
+            edge_inc, edges,
+            arg_dat(wd, IDX_ID, None, READ),
+            arg_dat(xd, 0, e2n, READ),
+            arg_dat(xd, 1, e2n, READ),
+            arg_dat(ref, 0, e2n, INC),
+            arg_dat(ref, 1, e2n, INC),
+            runtime=Runtime("sequential"),
+        )
+
+        ctx = build_ctx(nodes, edges, e2n, conn, nranks,
+                        [wd, xd, acc], backend)
+        ctx.par_loop(
+            edge_inc, edges,
+            arg_dat(wd, IDX_ID, None, READ),
+            arg_dat(xd, 0, e2n, READ),
+            arg_dat(xd, 1, e2n, READ),
+            arg_dat(acc, 0, e2n, INC),
+            arg_dat(acc, 1, e2n, INC),
+        )
+        np.testing.assert_allclose(
+            ctx.fetch(acc), ref.data, rtol=1e-12, atol=1e-12
+        )
+
+    def test_write_then_read_triggers_exchange(self):
+        nodes, edges, e2n, conn, w, x = chain_problem()
+        xd = Dat(nodes, 1, x, name="x")
+        out = Dat(edges, 1, name="out")
+        ctx = build_ctx(nodes, edges, e2n, conn, 3, [xd, out])
+        base_msgs = ctx.comm.stats.messages
+
+        # Direct write to x invalidates halos...
+        ctx.par_loop(node_scale, nodes, arg_dat(xd, IDX_ID, None, WRITE))
+        # ...so the indirect read must exchange.
+        ctx.par_loop(
+            edge_read_nodes, edges,
+            arg_dat(xd, 0, e2n, READ),
+            arg_dat(xd, 1, e2n, READ),
+            arg_dat(out, IDX_ID, None, WRITE),
+        )
+        assert ctx.comm.stats.messages > base_msgs
+        np.testing.assert_allclose(
+            ctx.fetch(out)[:, 0], (x[conn[:, 0]] + x[conn[:, 1]])[:, 0] * 2
+        )
+
+    def test_no_exchange_when_fresh(self):
+        nodes, edges, e2n, conn, w, x = chain_problem()
+        xd = Dat(nodes, 1, x, name="x")
+        out = Dat(edges, 1, name="out")
+        ctx = build_ctx(nodes, edges, e2n, conn, 3, [xd, out])
+        ctx.par_loop(
+            edge_read_nodes, edges,
+            arg_dat(xd, 0, e2n, READ),
+            arg_dat(xd, 1, e2n, READ),
+            arg_dat(out, IDX_ID, None, WRITE),
+        )
+        first = ctx.comm.stats.messages
+        ctx.par_loop(
+            edge_read_nodes, edges,
+            arg_dat(xd, 0, e2n, READ),
+            arg_dat(xd, 1, e2n, READ),
+            arg_dat(out, IDX_ID, None, WRITE),
+        )
+        assert ctx.comm.stats.messages == first  # still fresh: no traffic
+
+    def test_global_reduction_across_ranks(self):
+        nodes, edges, e2n, conn, w, x = chain_problem()
+        xd = Dat(nodes, 1, x, name="x")
+        g = Global(1, name="mn")
+        g.data[:] = g.identity_for(MIN)
+
+        @kernel("gmin")
+        def gmin(xx, m):
+            m[0] = min(m[0], xx[0])
+
+        @gmin.vectorized
+        def gmin_vec(xx, m):
+            m[:, 0] = np.minimum(m[:, 0], xx[:, 0])
+
+        ctx = build_ctx(nodes, edges, e2n, conn, 4, [xd])
+        ctx.par_loop(gmin, nodes,
+                     arg_dat(xd, IDX_ID, None, READ), arg_gbl(g, MIN))
+        assert float(g.value) == x.min()
+        assert ctx.comm.stats.reductions == 1
+
+    def test_reduction_plus_indirect_write_rejected(self):
+        nodes, edges, e2n, conn, w, x = chain_problem()
+        wd = Dat(edges, 1, w, name="w")
+        acc = Dat(nodes, 1, name="acc")
+        g = Global(1)
+
+        @kernel("bad")
+        def bad(ww, a, s):
+            a[0] += ww[0]
+            s[0] += ww[0]
+
+        ctx = build_ctx(nodes, edges, e2n, conn, 2, [wd, acc])
+        with pytest.raises(NotImplementedError):
+            ctx.par_loop(bad, edges,
+                         arg_dat(wd, IDX_ID, None, READ),
+                         arg_dat(acc, 0, e2n, INC),
+                         arg_gbl(g, INC))
+
+    def test_update_scatters_and_refreshes(self):
+        nodes, edges, e2n, conn, w, x = chain_problem()
+        xd = Dat(nodes, 1, x, name="x")
+        ctx = build_ctx(nodes, edges, e2n, conn, 3, [xd])
+        new = np.arange(nodes.size, dtype=float).reshape(-1, 1)
+        ctx.update(xd, new)
+        np.testing.assert_allclose(ctx.fetch(xd), new)
+
+    def test_load_imbalance_metric(self):
+        nodes, edges, e2n, conn, w, x = chain_problem(24)
+        wd = Dat(edges, 1, w, name="w")
+        ctx = build_ctx(nodes, edges, e2n, conn, 3, [wd])
+        assert 0.0 <= ctx.load_imbalance(nodes) < 0.5
+
+
+class TestDistributedAirfoil:
+    @pytest.mark.parametrize("nranks", [2, 3])
+    def test_airfoil_matches_serial(self, nranks):
+        from repro.apps.airfoil import AirfoilSim, DistributedAirfoilSim
+        from repro.mesh import make_airfoil_mesh
+
+        mesh = make_airfoil_mesh(12, 6)
+        serial = AirfoilSim(mesh, runtime=Runtime("vectorized",
+                                                  block_size=32))
+        serial.run(3)
+
+        mesh2 = make_airfoil_mesh(12, 6)
+        cell_parts = rcb_partition(mesh2.cell_centroids(), nranks)
+        dist = DistributedAirfoilSim(mesh2, cell_parts, nranks,
+                                     block_size=32)
+        dist.run(3)
+        np.testing.assert_allclose(
+            dist.fetch_q(), serial.q, rtol=1e-10, atol=1e-12
+        )
+        np.testing.assert_allclose(
+            dist.rms_history, serial.rms_history, rtol=1e-10
+        )
+        assert dist.ctx.comm.stats.messages > 0
+
+
+@given(
+    n_nodes=st.integers(4, 30),
+    nranks=st.integers(1, 4),
+    seed=st.integers(0, 1000),
+)
+@settings(max_examples=20, deadline=None)
+def test_property_distributed_equals_serial(n_nodes, nranks, seed):
+    nodes, edges, e2n, conn, w, x = chain_problem(n_nodes, seed)
+    wd = Dat(edges, 1, w, name="w")
+    xd = Dat(nodes, 1, x, name="x")
+    acc = Dat(nodes, 1, name="acc")
+
+    ref = Dat(nodes, 1, name="ref")
+    par_loop(
+        edge_inc, edges,
+        arg_dat(wd, IDX_ID, None, READ),
+        arg_dat(xd, 0, e2n, READ),
+        arg_dat(xd, 1, e2n, READ),
+        arg_dat(ref, 0, e2n, INC),
+        arg_dat(ref, 1, e2n, INC),
+        runtime=Runtime("sequential"),
+    )
+    ctx = build_ctx(nodes, edges, e2n, conn, nranks, [wd, xd, acc])
+    ctx.par_loop(
+        edge_inc, edges,
+        arg_dat(wd, IDX_ID, None, READ),
+        arg_dat(xd, 0, e2n, READ),
+        arg_dat(xd, 1, e2n, READ),
+        arg_dat(acc, 0, e2n, INC),
+        arg_dat(acc, 1, e2n, INC),
+    )
+    np.testing.assert_allclose(ctx.fetch(acc), ref.data,
+                               rtol=1e-10, atol=1e-10)
+
+
+class TestOverlapExecution:
+    """Core/boundary split (Fig 2b's op_mpi_wait_all overlap)."""
+
+    @pytest.mark.parametrize("nranks", [2, 3])
+    def test_overlap_matches_plain(self, nranks):
+        nodes, edges, e2n, conn, w, x = chain_problem(29, seed=4)
+        wd = Dat(edges, 1, w, name="w")
+        xd = Dat(nodes, 1, x, name="x")
+        acc_a = Dat(nodes, 1, name="acc_a")
+        acc_b = Dat(nodes, 1, name="acc_b")
+
+        ctx_a = build_ctx(nodes, edges, e2n, conn, nranks, [wd, xd, acc_a])
+        ctx_a.par_loop(
+            edge_inc, edges,
+            arg_dat(wd, IDX_ID, None, READ),
+            arg_dat(xd, 0, e2n, READ),
+            arg_dat(xd, 1, e2n, READ),
+            arg_dat(acc_a, 0, e2n, INC),
+            arg_dat(acc_a, 1, e2n, INC),
+        )
+
+        nodes2, edges2, e2n2, conn2, w2, x2 = chain_problem(29, seed=4)
+        wd2 = Dat(edges2, 1, w2, name="w2")
+        xd2 = Dat(nodes2, 1, x2, name="x2")
+        acc2 = Dat(nodes2, 1, name="acc2")
+        ctx_b = build_ctx(nodes2, edges2, e2n2, conn2, nranks,
+                          [wd2, xd2, acc2])
+        ctx_b.par_loop(
+            edge_inc, edges2,
+            arg_dat(wd2, IDX_ID, None, READ),
+            arg_dat(xd2, 0, e2n2, READ),
+            arg_dat(xd2, 1, e2n2, READ),
+            arg_dat(acc2, 0, e2n2, INC),
+            arg_dat(acc2, 1, e2n2, INC),
+            overlap=True,
+        )
+        np.testing.assert_allclose(
+            ctx_b.fetch(acc2), ctx_a.fetch(acc_a), rtol=1e-12, atol=1e-12
+        )
+
+    def test_core_fraction_is_substantial(self):
+        # Most elements of a well-partitioned mesh are core — the
+        # overlap window that hides communication latency.
+        from repro.apps.airfoil import DistributedAirfoilSim
+        from repro.mesh import make_airfoil_mesh
+
+        mesh = make_airfoil_mesh(24, 12)
+        parts = rcb_partition(mesh.cell_centroids(), 3)
+        dist = DistributedAirfoilSim(mesh, parts, 3)
+        total_core = total_owned = 0
+        for reg_plans in dist.ctx.halo_plans.values():
+            for reg in reg_plans.regions:
+                total_core += reg.core_size
+                total_owned += reg.n_owned
+        assert total_core / total_owned > 0.5
+
+    def test_airfoil_overlap_full_run(self):
+        from repro.apps.airfoil import AirfoilSim, DistributedAirfoilSim
+        from repro.mesh import make_airfoil_mesh
+
+        mesh = make_airfoil_mesh(12, 6)
+        serial = AirfoilSim(mesh, runtime=Runtime("vectorized",
+                                                  block_size=32))
+        serial.run(2)
+
+        mesh2 = make_airfoil_mesh(12, 6)
+        parts = rcb_partition(mesh2.cell_centroids(), 2)
+        dist = DistributedAirfoilSim(mesh2, parts, 2, block_size=32)
+        # Route every loop through the overlap path.
+        orig = dist.ctx.par_loop
+        dist.ctx.par_loop = (
+            lambda k, s, *a: orig(k, s, *a, overlap=True)
+        )
+        dist.run(2)
+        np.testing.assert_allclose(
+            dist.fetch_q(), serial.q, rtol=1e-10, atol=1e-12
+        )
+
+    def test_start_element_direct(self):
+        # The primitive under the overlap: execute only a suffix.
+        s = Set(10, "s")
+        d = Dat(s, 1)
+
+        @kernel("mark")
+        def mark(x):
+            x[0] = 1.0
+
+        @mark.vectorized
+        def mark_vec(x):
+            x[:, 0] = 1.0
+
+        for bk in ("sequential", "openmp", "vectorized", "simt"):
+            d.zero()
+            par_loop(mark, s, arg_dat(d, IDX_ID, None, WRITE),
+                     runtime=Runtime(bk, block_size=4), start_element=6)
+            np.testing.assert_array_equal(
+                d.data.ravel(), [0] * 6 + [1] * 4
+            )
+
+    def test_start_element_validation(self):
+        s = Set(4, "s")
+        d = Dat(s, 1)
+
+        @kernel("nothing")
+        def nothing(x):
+            x[0] = 1.0
+
+        with pytest.raises(ValueError, match="start_element"):
+            par_loop(nothing, s, arg_dat(d, IDX_ID, None, WRITE),
+                     runtime=Runtime("sequential"), start_element=9)

@@ -1,0 +1,165 @@
+"""Tests for the partitioning substrate (RCB, graph growing, quality)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mesh import make_airfoil_mesh, make_tri_mesh
+from repro.partition import (
+    adjacency_from_map,
+    evaluate_partition,
+    greedy_grow_partition,
+    partition_iteration_set,
+    rcb_partition,
+)
+
+
+class TestRCB:
+    def test_single_part(self):
+        parts = rcb_partition(np.random.default_rng(0).random((20, 2)), 1)
+        assert (parts == 0).all()
+
+    def test_balance_power_of_two(self):
+        rng = np.random.default_rng(1)
+        parts = rcb_partition(rng.random((128, 2)), 4)
+        sizes = np.bincount(parts, minlength=4)
+        assert sizes.max() - sizes.min() <= 2
+
+    def test_balance_odd_parts(self):
+        rng = np.random.default_rng(2)
+        parts = rcb_partition(rng.random((100, 2)), 3)
+        sizes = np.bincount(parts, minlength=3)
+        assert sizes.max() - sizes.min() <= 3
+
+    def test_spatial_compactness(self):
+        # A 1-D line split in 2 must cut at the median.
+        coords = np.stack([np.arange(10.0), np.zeros(10)], axis=1)
+        parts = rcb_partition(coords, 2)
+        assert (parts[:5] == parts[0]).all()
+        assert (parts[5:] == parts[9]).all()
+        assert parts[0] != parts[9]
+
+    def test_all_parts_used(self):
+        rng = np.random.default_rng(3)
+        parts = rcb_partition(rng.random((64, 2)), 7)
+        assert set(parts.tolist()) == set(range(7))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rcb_partition(np.zeros((4, 2)), 0)
+        with pytest.raises(ValueError):
+            rcb_partition(np.zeros(4), 2)
+
+    def test_empty(self):
+        assert rcb_partition(np.zeros((0, 2)), 3).size == 0
+
+
+class TestAdjacency:
+    def test_shared_node_adjacency(self):
+        # Two triangles sharing an edge (two nodes).
+        conn = np.array([[0, 1, 2], [1, 2, 3]])
+        adj = adjacency_from_map(conn, 2, 4)
+        assert adj[0, 1] == 1 and adj[1, 0] == 1
+        assert adj[0, 0] == 0  # empty diagonal
+
+    def test_disconnected(self):
+        conn = np.array([[0, 1], [2, 3]])
+        adj = adjacency_from_map(conn, 2, 4)
+        assert adj.nnz == 0
+
+    def test_mesh_adjacency_symmetric(self):
+        m = make_tri_mesh(4, 4)
+        adj = adjacency_from_map(
+            m.map("cell2node").values, m.cells.size, m.nodes.size
+        )
+        assert (adj != adj.T).nnz == 0
+
+
+class TestGreedyGrow:
+    def test_covers_and_balances(self):
+        m = make_airfoil_mesh(12, 6)
+        adj = adjacency_from_map(
+            m.map("cell2node").values, m.cells.size, m.nodes.size
+        )
+        parts = greedy_grow_partition(adj, 4)
+        q = evaluate_partition(adj, parts, 4)
+        assert (parts >= 0).all()
+        assert q.sizes.sum() == m.cells.size
+        assert q.imbalance < 0.2
+
+    def test_beats_random_on_edge_cut(self):
+        m = make_airfoil_mesh(16, 8)
+        adj = adjacency_from_map(
+            m.map("cell2node").values, m.cells.size, m.nodes.size
+        )
+        grown = evaluate_partition(adj, greedy_grow_partition(adj, 4), 4)
+        rng = np.random.default_rng(0)
+        rnd = evaluate_partition(
+            adj, rng.integers(0, 4, m.cells.size).astype(np.int32), 4
+        )
+        assert grown.edge_cut < rnd.edge_cut / 2
+
+    def test_single_part(self):
+        adj = adjacency_from_map(np.array([[0, 1]]), 1, 2)
+        assert (greedy_grow_partition(adj, 1) == 0).all()
+
+    def test_invalid_nparts(self):
+        adj = adjacency_from_map(np.array([[0, 1]]), 1, 2)
+        with pytest.raises(ValueError):
+            greedy_grow_partition(adj, 0)
+
+
+class TestDerivedPartitions:
+    def test_min_rule(self):
+        primary = np.array([2, 0, 1], dtype=np.int32)
+        mv = np.array([[0, 1], [1, 2], [2, 2]])
+        parts = partition_iteration_set(mv, primary, rule="min")
+        np.testing.assert_array_equal(parts, [0, 0, 1])
+
+    def test_first_rule(self):
+        primary = np.array([2, 0, 1], dtype=np.int32)
+        mv = np.array([[0, 1], [1, 2], [2, 2]])
+        parts = partition_iteration_set(mv, primary, rule="first")
+        np.testing.assert_array_equal(parts, [2, 0, 1])
+
+    def test_unknown_rule(self):
+        with pytest.raises(ValueError):
+            partition_iteration_set(np.array([[0]]), np.array([0]), "median")
+
+
+class TestQuality:
+    def test_perfect_partition_metrics(self):
+        # Two disconnected cliques split along the gap: zero edge cut.
+        conn = np.array([[0, 1], [0, 1], [2, 3], [2, 3]])
+        adj = adjacency_from_map(conn, 4, 4)
+        parts = np.array([0, 0, 1, 1], dtype=np.int32)
+        q = evaluate_partition(adj, parts, 2)
+        assert q.edge_cut == 0
+        assert q.imbalance == 0.0
+        assert q.boundary_fraction == 0.0
+
+    def test_edge_cut_counted_once(self):
+        conn = np.array([[0, 1], [1, 2]])  # two elements sharing node 1
+        adj = adjacency_from_map(conn, 2, 3)
+        q = evaluate_partition(adj, np.array([0, 1], dtype=np.int32), 2)
+        assert q.edge_cut == 1
+        assert q.boundary_fraction == 1.0
+
+    def test_str_formats(self):
+        conn = np.array([[0, 1], [1, 2]])
+        adj = adjacency_from_map(conn, 2, 3)
+        s = str(evaluate_partition(adj, np.array([0, 1], np.int32), 2))
+        assert "edge_cut=1" in s
+
+
+@given(st.integers(2, 40), st.integers(1, 6), st.integers(0, 99))
+@settings(max_examples=40, deadline=None)
+def test_property_rcb_partitions_cover(n, k, seed):
+    rng = np.random.default_rng(seed)
+    parts = rcb_partition(rng.random((n, 2)), k)
+    assert parts.size == n
+    assert parts.min() >= 0 and parts.max() < k
+    sizes = np.bincount(parts, minlength=k)
+    # Balance within one element per recursion level (<= log2(k) levels).
+    assert sizes.max() - sizes.min() <= max(1, int(np.ceil(np.log2(k))) + 1)
