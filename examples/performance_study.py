@@ -11,7 +11,13 @@ Run:  python examples/performance_study.py
 
 import numpy as np
 
-from repro.bench import measured_speedups
+from repro.bench.measured import (
+    batch_ablation,
+    cache_ablation,
+    layout_ablation,
+    measured_speedups,
+)
+from repro.mesh import make_airfoil_mesh
 from repro.perfmodel import (
     AUTOVEC_OPENMP,
     CUDA,
@@ -86,6 +92,17 @@ def main() -> None:
     print("=" * 68)
     table = measured_speedups("airfoil", steps=2)
     print(table.render())
+
+    print("=" * 68)
+    print("Execution-engine knobs, measured (layout / batching / caching)")
+    print("=" * 68)
+    # The three levers this library exposes on top of the paper's
+    # pipeline: whole-color batched execution (vs per-chunk loops), the
+    # Dat storage layout, and warm plan/gather-index caches.
+    mesh = make_airfoil_mesh(64, 32)
+    print(batch_ablation(mesh=mesh, steps=3).render())
+    print(layout_ablation(mesh=mesh, steps=3).render())
+    print(cache_ablation(mesh=mesh, steps=3).render())
 
 
 if __name__ == "__main__":

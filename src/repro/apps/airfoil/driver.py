@@ -27,6 +27,7 @@ from ...core import (
     Runtime,
     arg_dat,
     arg_gbl,
+    dat_layout,
     par_loop,
 )
 from ...mesh import UnstructuredMesh, make_airfoil_mesh
@@ -84,6 +85,12 @@ class AirfoilSim:
         m = self.mesh
         qinf = self.constants.qinf(self.dtype)
         q0 = np.broadcast_to(qinf, (m.cells.size, 4))
+        # Allocate under the runtime's preferred data layout (AoS/SoA) so
+        # layout is a Runtime knob rather than per-Dat boilerplate.
+        with dat_layout(getattr(self.runtime, "layout", None)):
+            return self._make_state(m, q0)
+
+    def _make_state(self, m, q0) -> AirfoilState:
         return AirfoilState(
             p_x=Dat(m.nodes, 2, m.coords, self.dtype, name="p_x"),
             p_q=Dat(m.cells, 4, q0, self.dtype, name="p_q"),

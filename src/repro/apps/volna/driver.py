@@ -27,6 +27,7 @@ from ...core import (
     Runtime,
     arg_dat,
     arg_gbl,
+    dat_layout,
     par_loop,
 )
 from ...mesh import UnstructuredMesh, make_tri_mesh
@@ -134,6 +135,11 @@ class VolnaSim:
     def _init_state(self) -> VolnaState:
         m = self.mesh
         q0 = initial_state(m.cell_centroids(), self.scenario, self.dtype)
+        # Allocate under the runtime's preferred data layout (AoS/SoA).
+        with dat_layout(getattr(self.runtime, "layout", None)):
+            return self._make_state(m, q0)
+
+    def _make_state(self, m, q0) -> VolnaState:
         return VolnaState(
             q=Dat(m.cells, 4, q0, self.dtype, name="q"),
             q_old=Dat(m.cells, 4, dtype=self.dtype, name="q_old"),

@@ -20,7 +20,21 @@ parallelization strategies:
 
 All backends must produce results identical (to floating-point reordering
 tolerance) to ``sequential`` — the central correctness property of the
-test suite.
+test suite, swept across both data layouts.
+
+The gather/scatter contract
+---------------------------
+:func:`gather_batch` packs one chunk/phase of elements into batched
+arrays: indirect reads become mapped gathers (fresh copies), direct
+reads contiguous views, indirect INC arguments zeroed accumulators.
+:func:`scatter_batch` writes results back under the
+serialize-vs-colored rule: INC with ``serialize_inc=True`` applies lanes
+in element order (``np.add.at`` — correct when lanes collide, the
+two_level case); ``serialize_inc=False`` is the permute schemes' free
+fused scatter, valid only for conflict-free targets; WRITE/RW scatters
+always require distinct targets.  All of it routes through the
+layout-aware :class:`~repro.core.dat.Dat` primitives, so AoS and SoA
+Dats take the same code path (``docs/architecture.md`` sections 2 and 4).
 """
 
 from __future__ import annotations
@@ -33,7 +47,7 @@ import numpy as np
 
 from ..core.access import Access, Arg
 from ..core.kernel import Kernel
-from ..core.plan import Plan
+from ..core.plan import Plan, is_contiguous_range
 from ..core.set import Set
 
 
@@ -181,7 +195,7 @@ class BatchArgs:
 def gather_batch(
     args: Sequence[Arg],
     elems: np.ndarray,
-    dtypeless_zeros: bool = False,
+    phase=None,
 ) -> BatchArgs:
     """Gather a chunk of elements into batched ``(chunk, ...)`` arrays.
 
@@ -190,11 +204,20 @@ def gather_batch(
     direct reads become contiguous loads (views when the chunk is a
     slice-like contiguous range), and indirect increments start as zeroed
     accumulators that the caller scatters afterwards.
+
+    Gathers go through :meth:`~repro.core.dat.Dat.gather`, which indexes
+    the physical storage along its contiguous axis, so the same code
+    serves AoS and SoA Dats.  When ``phase`` (a
+    :class:`~repro.core.plan.Phase` covering exactly ``elems``) is given,
+    indirection index arrays come from the phase's per-(map, slot) cache
+    instead of being fancy-indexed out of the maps anew — the whole-color
+    fast path's steady-state invariant is that *no* index array is
+    rebuilt after the first time step.
     """
     batch = BatchArgs()
     nl = elems.size
-    contiguous = bool(
-        nl and elems[0] + nl - 1 == elems[-1] and np.all(np.diff(elems) == 1)
+    contiguous = (
+        phase.contiguous if phase is not None else is_contiguous_range(elems)
     )
     for i, arg in enumerate(args):
         if arg.is_global:
@@ -220,8 +243,11 @@ def gather_batch(
             batch.arrays.append(view)
             continue
 
-        # Indirect argument: mapped gather.
-        if arg.is_vector:
+        # Indirect argument: mapped gather (indices cached on the phase
+        # when one is supplied).
+        if phase is not None:
+            idx = phase.index_for(arg)
+        elif arg.is_vector:
             idx = arg.map.values[elems]          # (chunk, arity)
         else:
             idx = arg.map.values[elems, arg.index]  # (chunk,)
@@ -233,7 +259,7 @@ def gather_batch(
             batch.arrays.append(local)
             batch.writebacks.append((i, idx))
         else:
-            local = arg.dat.data[idx]
+            local = arg.dat.gather(idx)
             batch.arrays.append(local)
             if arg.access.writes:
                 batch.writebacks.append((i, idx))
@@ -252,7 +278,10 @@ def scatter_batch(
     ``serialize_inc=True`` uses ``np.add.at`` — the colored/serialized
     increment of the paper, correct even when lanes share a target.
     ``serialize_inc=False`` models the permute schemes' free scatter
-    (``data[idx] += local``), valid only when all lane targets are unique.
+    (one fused ``+=``), valid only when all lane targets are unique.
+    Scatters route through :meth:`~repro.core.dat.Dat.scatter` /
+    :meth:`~repro.core.dat.Dat.scatter_add` so both layouts write their
+    physical storage along the contiguous axis.
     """
     for i, idx in batch.writebacks:
         arg = args[i]
@@ -262,18 +291,17 @@ def scatter_batch(
                 # Vector args flatten (chunk, arity) targets; one element's
                 # own slots may coincide on degenerate meshes, so always
                 # accumulate serially for them.
-                np.add.at(
-                    arg.dat.data, idx.reshape(-1), local.reshape(-1, arg.dat.dim)
+                arg.dat.scatter_add(
+                    idx.reshape(-1), local.reshape(-1, arg.dat.dim),
+                    serialize=True,
                 )
-            elif serialize_inc:
-                np.add.at(arg.dat.data, idx, local)
             else:
-                arg.dat.data[idx] += local
+                arg.dat.scatter_add(idx, local, serialize=serialize_inc)
         else:
             # WRITE / RW scatter: lane targets must be distinct (guaranteed
             # by coloring for indirect args; direct non-contiguous gathers
             # are bijective by construction).
-            arg.dat.data[idx] = local
+            arg.dat.scatter(idx, local)
 
     for i in batch.reduction_slots:
         arg = args[i]

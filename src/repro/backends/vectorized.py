@@ -17,6 +17,21 @@ Execution follows the generated intrinsics code exactly:
 Under the ``full_permute``/``block_permute`` schemes, lanes within a chunk
 are guaranteed independent, so the scatter needs no serialization — this
 is the configuration measured in Fig 8a.
+
+The whole-color mega-batch fast path
+------------------------------------
+Chunked execution is faithful to the hardware but pays Python-interpreter
+overhead per chunk — the exact cost the paper's generated code avoids by
+compiling.  When ``vec=None`` (unbounded lanes) the backend instead asks
+the plan for its :meth:`~repro.core.plan.Plan.phases`: each conflict-free
+color becomes **one** fused gather → vector-kernel → scatter over the
+entire color's element array, with the gather/scatter index arrays cached
+on the plan so repeated invocations (time steps) rebuild nothing.  Batch
+results are bitwise identical to chunked execution — phases preserve the
+chunked element order, serialized INC scatters apply lanes in that same
+order, and free scatters touch each target exactly once either way.  The
+``bench`` ablation tables quantify the speedup (batched-vs-chunked and
+warm-vs-cold cache).
 """
 
 from __future__ import annotations
@@ -25,6 +40,10 @@ import numpy as np
 
 from ..core.access import Access
 from .base import Backend, gather_batch, run_scalar_element, scatter_batch
+
+#: Batch strategies: one fused call per conflict-free color vs the
+#: faithful per-chunk loop.
+BATCH_MODES = ("color", "chunk")
 
 
 class VectorizedBackend(Backend):
@@ -37,15 +56,32 @@ class VectorizedBackend(Backend):
         once" — the fastest NumPy realization, used by the benchmark
         harness; a concrete width (4, 8, 16) models the hardware register
         faithfully, including the scalar remainder sweep.
+    batch:
+        ``"color"`` executes each conflict-free color as one fused call
+        using the plan's cached gather indices (requires ``vec=None``);
+        ``"chunk"`` keeps the per-chunk loop.  Default: ``"color"`` when
+        ``vec is None``, else ``"chunk"``.
     """
 
     name = "vectorized"
 
-    def __init__(self, vec: int | None = None) -> None:
+    def __init__(self, vec: int | None = None, batch: str | None = None) -> None:
         super().__init__()
         if vec is not None and vec < 1:
             raise ValueError(f"vector width must be >= 1, got {vec}")
+        if batch is None:
+            batch = "color" if vec is None else "chunk"
+        if batch not in BATCH_MODES:
+            raise ValueError(
+                f"Unknown batch mode {batch!r}; expected one of {BATCH_MODES}"
+            )
+        if batch == "color" and vec is not None:
+            raise ValueError(
+                "batch='color' executes whole colors at once and is "
+                "incompatible with a finite vector width; use vec=None"
+            )
         self.vec = vec
+        self.batch = batch
 
     # ------------------------------------------------------------------
     def _run(self, kernel, set_, args, plan, n, reductions, start=0) -> None:
@@ -57,10 +93,13 @@ class VectorizedBackend(Backend):
             return
 
         if plan.is_direct:
-            self._run_range(
-                kernel, args, np.arange(start, n), reductions,
-                serialize=False,
-            )
+            if self.batch == "color":
+                self._run_phases(kernel, args, plan, n, reductions, start)
+            else:
+                self._run_range(
+                    kernel, args, np.arange(start, n), reductions,
+                    serialize=False,
+                )
             return
 
         scheme = plan.scheme
@@ -74,7 +113,9 @@ class VectorizedBackend(Backend):
             for e in range(start, n):
                 run_scalar_element(kernel.scalar, args, e, reductions)
             return
-        if scheme == "two_level":
+        if self.batch == "color":
+            self._run_phases(kernel, args, plan, n, reductions, start)
+        elif scheme == "two_level":
             self._run_two_level(kernel, args, plan, n, reductions, start)
         elif scheme == "full_permute":
             self._run_full_permute(kernel, args, plan, n, reductions, start)
@@ -83,6 +124,25 @@ class VectorizedBackend(Backend):
         else:  # pragma: no cover - schemes validated at plan build
             raise ValueError(f"Unknown plan scheme {scheme!r}")
 
+    # ------------------------------------------------------------------
+    # Whole-color mega-batch path.
+    # ------------------------------------------------------------------
+    def _run_phases(self, kernel, args, plan, n, reductions, start=0) -> None:
+        """One fused gather/compute/scatter per conflict-free color.
+
+        ``plan.phases`` memoizes both the phase element arrays and (via
+        each phase's index cache) the per-(map, slot) gather indices, so
+        this path's steady state is exactly one NumPy gather per argument
+        per color and zero index reconstruction.
+        """
+        for phase in plan.phases(n, start):
+            batch = gather_batch(args, phase.elems, phase=phase)
+            kernel.vector(*batch.arrays)
+            scatter_batch(args, batch, reductions,
+                          serialize_inc=phase.serialize)
+
+    # ------------------------------------------------------------------
+    # Chunked (hardware-faithful) path.
     # ------------------------------------------------------------------
     def _chunks(self, elems: np.ndarray):
         """Split an element list into vector-width chunks plus remainder."""

@@ -2,9 +2,11 @@
 
 Usage::
 
-    python -m repro.bench              # all tables + figures
-    python -m repro.bench table5       # one artifact
-    python -m repro.bench --measured   # also run wall-clock measurements
+    python -m repro.bench                # all tables + figures
+    python -m repro.bench table5         # one artifact
+    python -m repro.bench --measured     # also run wall-clock measurements
+    python -m repro.bench --ablations    # layout / batching / caching ablations
+    python -m repro.bench --quick        # CI smoke: one table + tiny ablation
 """
 
 from __future__ import annotations
@@ -14,7 +16,7 @@ import sys
 
 from .figures import ALL_FIGURES
 from .harness import RESULTS_DIR
-from .measured import measured_speedups
+from .measured import ALL_ABLATIONS, batch_ablation, measured_speedups
 from .tables import ALL_TABLES
 
 
@@ -31,10 +33,39 @@ def main(argv=None) -> int:
         "--measured", action="store_true",
         help="also measure wall-clock backend speedups on this machine",
     )
+    parser.add_argument(
+        "--ablations", action="store_true",
+        help="also run the layout / batching / caching ablations "
+             "(AoS-vs-SoA, whole-color-vs-chunked, warm-vs-cold caches)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke mode: one model table plus a small "
+             "batched-vs-chunked measurement",
+    )
     parser.add_argument("--outdir", default=None, help="output directory")
     args = parser.parse_args(argv)
 
     registry = {**ALL_TABLES, **ALL_FIGURES}
+
+    if args.quick:
+        if args.artifacts or args.measured or args.ablations:
+            parser.error("--quick runs a fixed smoke subset; drop the "
+                         "artifact names / --measured / --ablations or "
+                         "run them without --quick")
+        from ..mesh import make_airfoil_mesh
+
+        table = registry["table2"]()
+        print(table.render())
+        print(f"[saved {table.save('table2', args.outdir)}]\n")
+        quick = batch_ablation(
+            mesh=make_airfoil_mesh(24, 12), steps=2, schemes=("two_level",)
+        )
+        print(quick.render())
+        print(f"[saved {quick.save('BENCH_quick_batch', args.outdir)}]\n")
+        print(f"Results under {args.outdir or RESULTS_DIR}/")
+        return 0
+
     names = args.artifacts or list(registry)
     unknown = [n for n in names if n not in registry]
     if unknown:
@@ -51,6 +82,13 @@ def main(argv=None) -> int:
             table = measured_speedups(app)
             print(table.render())
             table.save(f"measured_{app}", args.outdir)
+
+    if args.ablations:
+        for name, gen in ALL_ABLATIONS.items():
+            table = gen()
+            print(table.render())
+            table.save(f"BENCH_{name}", args.outdir)
+
     print(f"Results under {args.outdir or RESULTS_DIR}/")
     return 0
 

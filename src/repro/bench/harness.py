@@ -31,17 +31,40 @@ def _fmt(value) -> str:
 
 @dataclass
 class ReportTable:
-    """An aligned-text table with provenance metadata."""
+    """An aligned-text table with provenance metadata.
+
+    ``meta`` records the knob settings a table was produced under
+    (layout, batch mode, steps, ...) so persisted JSON artifacts are
+    self-describing — the ablation tables rely on this to make
+    AoS-vs-SoA / batched-vs-chunked / cached-vs-cold runs comparable
+    across machines and commits.
+    """
 
     title: str
     rows: List[Dict[str, object]] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
+    meta: Dict[str, object] = field(default_factory=dict)
 
     def add(self, **row) -> None:
         self.rows.append(row)
 
     def note(self, text: str) -> None:
         self.notes.append(text)
+
+    def add_speedup_column(
+        self, time_col: str, out_col: str = "speedup", baseline_row: int = 0
+    ) -> None:
+        """Append ``out_col`` = baseline time / row time to every row.
+
+        Call this while ``time_col`` still holds unrounded times (round
+        for display afterwards) so the ratios keep full precision.
+        """
+        if not self.rows:
+            return
+        base = float(self.rows[baseline_row][time_col])
+        for r in self.rows:
+            t = float(r[time_col])
+            r[out_col] = round(base / t, 2) if t else float("inf")
 
     # ------------------------------------------------------------------
     def render(self) -> str:
@@ -53,6 +76,10 @@ class ReportTable:
             for c in cols
         }
         lines = [f"== {self.title} =="]
+        if self.meta:
+            lines.append(
+                "cfg: " + "  ".join(f"{k}={v}" for k, v in self.meta.items())
+            )
         lines.append("  ".join(c.ljust(widths[c]) for c in cols))
         lines.append("  ".join("-" * widths[c] for c in cols))
         for r in self.rows:
@@ -70,7 +97,8 @@ class ReportTable:
         path.write_text(self.render())
         (directory / f"{name}.json").write_text(
             json.dumps({"title": self.title, "rows": self.rows,
-                        "notes": self.notes}, indent=2, default=str)
+                        "notes": self.notes, "meta": self.meta},
+                       indent=2, default=str)
         )
         return path
 

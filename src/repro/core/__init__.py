@@ -30,7 +30,13 @@ from .access import (
     arg_gbl,
 )
 from .codegen import CodegenBackend, compile_loop, generate_loop_source
-from .dat import Dat
+from .dat import (
+    LAYOUTS,
+    Dat,
+    dat_layout,
+    get_default_layout,
+    set_default_layout,
+)
 from .glob import Global
 from .kernel import Kernel, KernelInfo, kernel
 from .loop import par_loop, validate_loop
@@ -50,6 +56,7 @@ __all__ = [
     "INC",
     "Kernel",
     "KernelInfo",
+    "LAYOUTS",
     "MAX",
     "MIN",
     "Map",
@@ -66,7 +73,10 @@ __all__ = [
     "build_plan",
     "compile_loop",
     "generate_loop_source",
+    "dat_layout",
     "default_runtime",
+    "get_default_layout",
+    "set_default_layout",
     "identity_map",
     "kernel",
     "make_backend",

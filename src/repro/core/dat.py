@@ -1,21 +1,109 @@
-"""Data defined on mesh sets (OP2 ``op_dat``).
+"""Data defined on mesh sets (OP2 ``op_dat``) with configurable layout.
 
-A :class:`Dat` is an ``(set.total_size, dim)`` NumPy array plus metadata.
-Storage is array-of-structures (AoS), matching the paper's CPU layout; the
-SIMT backend requests a structure-of-arrays (SoA) view via :meth:`Dat.soa`
-to model the paper's GPU data transposition (Section 5).
+A :class:`Dat` is logically an ``(set.total_size, dim)`` array plus
+metadata.  *Physically* the values live in one of two layouts (paper
+Section 5; "A study of vectorization for matrix-free finite element
+methods" studies the same trade-off):
+
+``aos`` (array-of-structures)
+    Storage shape ``(extent, dim)``, C-contiguous — one element's ``dim``
+    components are adjacent.  This is the paper's CPU layout: a scalar
+    loop touching all components of one element gets them in one cache
+    line.
+
+``soa`` (structure-of-arrays)
+    Storage shape ``(dim, extent)``, C-contiguous — one *component* of
+    all elements is adjacent.  This is the paper's GPU / wide-SIMD
+    layout: a batched kernel reading component ``k`` of many elements
+    streams one contiguous row.
+
+The layout is **transparent**: :attr:`Dat.data` always presents the
+logical ``(extent, dim)`` shape (for SoA it is a transposed view of the
+storage, aliasing the same memory), so kernels, backends and tests are
+layout-agnostic.  Performance-sensitive code uses :meth:`Dat.gather` /
+:meth:`Dat.scatter` / :meth:`Dat.scatter_add`, which index the physical
+storage along its contiguous axis.
+
+The gather/scatter contract
+---------------------------
+``gather(idx)`` returns a fresh ``(len(idx), dim)`` array of the rows
+named by ``idx`` (never a view).  ``scatter(idx, values)`` writes rows
+back and requires **unique** targets in ``idx`` — it is the free scatter
+of the permute schemes.  ``scatter_add(idx, values, serialize=True)``
+accumulates; with ``serialize=True`` it applies lanes in index order
+(``np.add.at``), which is correct even when lanes share a target — the
+paper's sequential scatter out of the vector register.  With
+``serialize=False`` targets must be unique (conflict-free color), and the
+add is one fused operation.
+
+A process-wide default layout can be set with :func:`set_default_layout`
+or scoped with the :func:`dat_layout` context manager; a
+:class:`~repro.core.runtime.Runtime` carries a ``layout`` attribute that
+the application drivers apply when allocating their state.  The layout
+subsystem is described end-to-end in ``docs/architecture.md`` (section 2).
+
+Example
+-------
+>>> nodes = Set(100, "nodes")
+>>> x = Dat(nodes, 3, layout="soa")     # explicit per-Dat layout
+>>> with dat_layout("soa"):
+...     y = Dat(nodes, 3)               # scoped default
+>>> x.data.shape, x.storage.shape
+((100, 3), (3, 100))
 """
 
 from __future__ import annotations
 
+import contextlib
 import itertools
-from typing import Optional
+from typing import Iterator, Optional
 
 import numpy as np
 
 from .set import Set
 
 _dat_counter = itertools.count()
+
+#: Supported physical layouts.
+LAYOUTS = ("aos", "soa")
+
+_default_layout = "aos"
+
+
+def _check_layout(layout: str) -> str:
+    if layout not in LAYOUTS:
+        raise ValueError(f"Unknown layout {layout!r}; expected one of {LAYOUTS}")
+    return layout
+
+
+def get_default_layout() -> str:
+    """The process-wide layout used when ``Dat(layout=None)``."""
+    return _default_layout
+
+
+def set_default_layout(layout: str) -> str:
+    """Set the process-wide default layout; returns the previous one."""
+    global _default_layout
+    previous = _default_layout
+    _default_layout = _check_layout(layout)
+    return previous
+
+
+@contextlib.contextmanager
+def dat_layout(layout: Optional[str]) -> Iterator[None]:
+    """Scoped default layout (``None`` is a no-op passthrough).
+
+    >>> with dat_layout("soa"):
+    ...     q = Dat(cells, 4)    # q.layout == "soa"
+    """
+    if layout is None:
+        yield
+        return
+    previous = set_default_layout(layout)
+    try:
+        yield
+    finally:
+        set_default_layout(previous)
 
 
 class Dat:
@@ -35,6 +123,11 @@ class Dat:
         so single/double precision runs use the same code path.
     name:
         Identifier used in reports and plan debugging.
+    layout:
+        ``"aos"`` (default) or ``"soa"`` physical storage layout; ``None``
+        takes the process default (see :func:`set_default_layout`).  The
+        logical :attr:`data` interface is identical under both — only the
+        memory order (and therefore gather/scatter locality) changes.
     """
 
     def __init__(
@@ -44,6 +137,7 @@ class Dat:
         data: Optional[np.ndarray] = None,
         dtype: np.dtype = np.float64,
         name: Optional[str] = None,
+        layout: Optional[str] = None,
     ) -> None:
         if not isinstance(set_, Set):
             raise TypeError("Dat must be attached to a Set")
@@ -51,62 +145,137 @@ class Dat:
             raise ValueError(f"Dat dim must be >= 1, got {dim}")
         self.set = set_
         self.dim = int(dim)
+        self.layout = _check_layout(layout if layout is not None else _default_layout)
         self.name = name if name is not None else f"dat_{next(_dat_counter)}"
         self._uid = next(_dat_counter)
         extent = set_.total_size + int(getattr(set_, "nonexec_size", 0))
         if data is None:
-            self.data = np.zeros((extent, dim), dtype=dtype)
+            aos = np.zeros((extent, dim), dtype=dtype)
         else:
             arr = np.asarray(data, dtype=dtype)
             if arr.size == extent * dim:
-                arr = arr.reshape(extent, dim)
+                aos = arr.reshape(extent, dim)
             else:
-                arr = np.broadcast_to(arr, (extent, dim)).copy()
-            self.data = np.ascontiguousarray(arr)
+                aos = np.broadcast_to(arr, (extent, dim))
+        if self.layout == "soa":
+            self._storage = np.ascontiguousarray(aos.T)
+        else:
+            self._storage = np.ascontiguousarray(aos)
+        #: Logical ``(extent, dim)`` array, writable, aliasing the storage.
+        #: For AoS this *is* the storage; for SoA it is a transposed view.
+        #: All element-wise access patterns (``data[e]``, ``data[idx]``,
+        #: ``data[lo:hi]``, ``np.add.at(data, ...)``) work identically
+        #: under both layouts.  Bound once here (the storage is never
+        #: rebound) so the scalar per-element hot paths pay no property
+        #: dispatch.
+        self.data = self._storage.T if self.layout == "soa" else self._storage
 
     # ------------------------------------------------------------------
     @property
+    def storage(self) -> np.ndarray:
+        """The physical C-contiguous array: ``(extent, dim)`` for AoS,
+        ``(dim, extent)`` for SoA.  Exposed for diagnostics and layout-aware
+        fast paths; mutate through :attr:`data` unless you know the layout.
+        """
+        return self._storage
+
+    @property
     def dtype(self) -> np.dtype:
-        return self.data.dtype
+        return self._storage.dtype
 
     @property
     def itemsize(self) -> int:
-        return self.data.dtype.itemsize
+        return self._storage.dtype.itemsize
 
     @property
     def nbytes(self) -> int:
         """Memory footprint of the owned portion (dim * size * itemsize)."""
         return self.set.size * self.dim * self.itemsize
 
-    def soa(self) -> np.ndarray:
-        """Structure-of-arrays view ``(dim, extent)`` — a transposed *copy*.
+    # ------------------------------------------------------------------
+    # Layout-aware gather/scatter primitives (used by batched backends).
+    # ------------------------------------------------------------------
+    def gather(self, idx: np.ndarray) -> np.ndarray:
+        """Gather rows ``idx`` into a fresh ``idx.shape + (dim,)`` array.
 
-        Models the paper's GPU SoA layout; callers that mutate the copy
-        must write it back with :meth:`from_soa`.
+        ``idx`` may be 1-D (single-slot indirection) or 2-D (vector
+        ``IDX_ALL`` arguments: ``(chunk, arity)``).  Indexes the physical
+        storage along its contiguous axis: an AoS gather copies whole
+        rows, an SoA gather streams one component row per ``k < dim`` —
+        the access pattern the paper's packing code and GPU transposition
+        respectively optimize for.
         """
-        return np.ascontiguousarray(self.data.T)
+        if self.layout == "soa":
+            # (dim, *idx.shape) -> (*idx.shape, dim); .T would *reverse*
+            # the axes and silently swap chunk/arity for 2-D indices.
+            return np.moveaxis(self._storage[:, idx], 0, -1)
+        return self._storage[idx]
+
+    def scatter(self, idx: np.ndarray, values: np.ndarray) -> None:
+        """Write rows back (WRITE/RW scatter).
+
+        ``values`` has shape ``idx.shape + (dim,)``; ``idx`` targets must
+        be unique — guaranteed by coloring for indirect arguments.
+        """
+        if self.layout == "soa":
+            self._storage[:, idx] = np.moveaxis(values, -1, 0)
+        else:
+            self._storage[idx] = values
+
+    def scatter_add(
+        self, idx: np.ndarray, values: np.ndarray, serialize: bool = True
+    ) -> None:
+        """Accumulate rows (INC scatter); ``values`` is ``idx.shape + (dim,)``.
+
+        ``serialize=True`` applies lanes strictly in index order via
+        ``np.add.at`` — correct when lanes collide (two_level scheme).
+        ``serialize=False`` is the permute schemes' free scatter: one
+        fused ``+=`` that requires unique targets.
+        """
+        if serialize:
+            np.add.at(self.data, idx, values)
+        elif self.layout == "soa":
+            self._storage[:, idx] += np.moveaxis(values, -1, 0)
+        else:
+            self._storage[idx] += values
+
+    # ------------------------------------------------------------------
+    def soa(self) -> np.ndarray:
+        """Structure-of-arrays ``(dim, extent)`` *copy* of the values.
+
+        Models the paper's GPU SoA transposition for AoS Dats; callers
+        that mutate the copy must write it back with :meth:`from_soa`.
+        (An SoA-layout Dat still returns a copy so the contract is
+        layout-independent.)
+        """
+        if self.layout == "soa":
+            return self._storage.copy()
+        return np.ascontiguousarray(self._storage.T)
 
     def from_soa(self, soa: np.ndarray) -> None:
         """Write back a (possibly modified) SoA copy from :meth:`soa`."""
-        if soa.shape != (self.dim, self.data.shape[0]):
+        extent = self.data.shape[0]
+        if soa.shape != (self.dim, extent):
             raise ValueError(
-                f"SoA shape {soa.shape} does not match ({self.dim}, "
-                f"{self.data.shape[0]})"
+                f"SoA shape {soa.shape} does not match ({self.dim}, {extent})"
             )
         self.data[...] = soa.T
 
     def copy(self, name: Optional[str] = None) -> "Dat":
-        """Deep copy (same set, fresh storage)."""
-        return Dat(self.set, self.dim, self.data.copy(), self.dtype, name=name)
+        """Deep copy (same set, fresh storage, same layout)."""
+        return Dat(
+            self.set, self.dim, np.array(self.data), self.dtype,
+            name=name, layout=self.layout,
+        )
 
     def zero(self) -> None:
         """In-place reset — cheaper than reallocating (guide: in-place ops)."""
-        self.data[...] = 0
+        self._storage[...] = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"Dat({self.name!r}, set={self.set.name}, dim={self.dim}, "
-            f"dtype={self.data.dtype})"
+            f"dtype={self.dtype}, layout={self.layout})"
         )
 
     def __hash__(self) -> int:

@@ -75,9 +75,9 @@ def par_loop(
     rt = runtime if runtime is not None else default_runtime()
     validate_loop(kernel, set_, args)
     if plan is None:
-        plan = rt.plans.get(
-            set_, args, rt.block_size, rt.scheme, rt.coloring_method
-        )
+        # Two-level lookup: call-site loop cache, then structural plan
+        # cache (see core/runtime.py) — a warm hit re-derives nothing.
+        plan = rt.plan_for(kernel, set_, args)
     rt.backend.execute(
         kernel, set_, args, plan,
         n_elements=n_elements, start_element=start_element,

@@ -8,6 +8,38 @@ block-permute orderings.  Plans are expensive (graph coloring over the
 whole mesh) and depend only on the loop's *access structure*, not on the
 data values, so they are cached and reused across time steps exactly as
 OP2 does; the plan-cache ablation bench quantifies the saving.
+
+Batched schedules and the gather-index cache
+--------------------------------------------
+On top of the raw coloring, a plan can serve :meth:`Plan.phases`: the
+loop's iteration range regrouped into **conflict-free color phases**,
+each a single flat element array that a batched backend executes in one
+fused gather → vector-kernel → scatter call (the whole-color fast path
+of :class:`~repro.backends.vectorized.VectorizedBackend`).  Each
+:class:`Phase` memoizes the per-``(map, slot)`` gather/scatter index
+arrays on first use — ``map.values[elems]`` fancy-indexing is pure
+overhead to repeat every time step, since neither the plan nor the maps
+change between invocations.  Phases (and with them the index arrays) are
+cached on the plan keyed by ``(n, start)``, and plans themselves are
+cached by loop structure (:class:`PlanCache`), so steady-state
+``par_loop`` calls re-derive nothing.
+
+The serialize-vs-colored scatter rule
+-------------------------------------
+A phase carries ``serialize``: ``True`` means lanes inside the phase may
+share an indirect target and INC scatters must apply lanes in element
+order (``np.add.at`` — correct and deterministic, but serial per
+element).  ``False`` means the coloring guarantees all lane targets are
+distinct and the scatter can be one fused array operation.  Under
+``two_level`` only whole *block colors* are race-free across blocks —
+elements inside a block may still collide, so phases serialize; under
+``full_permute``/``block_permute`` every phase is a same-color group and
+scatters free.  Backends must never use a free scatter on a
+``serialize=True`` phase for INC arguments; WRITE/RW races are excluded
+from batching altogether (the planner cannot order them safely).
+
+``docs/architecture.md`` (sections 3–4) covers the plan/schedule design
+and its cache levels end to end.
 """
 
 from __future__ import annotations
@@ -28,7 +60,7 @@ from ..coloring import (
     full_permute,
     make_blocks,
 )
-from .access import Arg
+from .access import Arg, IDX_ALL
 from .set import Set
 
 #: Default mini-partition size — OP2's default; Fig 8b sweeps this knob.
@@ -36,6 +68,67 @@ DEFAULT_BLOCK_SIZE = 256
 
 #: Supported execution orderings (paper Section 4).
 SCHEMES = ("two_level", "full_permute", "block_permute")
+
+
+def is_contiguous_range(elems: np.ndarray) -> bool:
+    """True when ``elems`` is a non-empty ascending unit-stride range.
+
+    Shared by phase construction and the batched gather so both agree on
+    when a direct argument may pass a zero-copy contiguous view.
+    """
+    return bool(
+        elems.size
+        and elems[0] + elems.size - 1 == elems[-1]
+        and np.all(np.diff(elems) == 1)
+    )
+
+
+class Phase:
+    """One conflict-free batch of a plan's iteration range.
+
+    ``elems`` is the flat element array the batched backends execute in a
+    single fused call; ``serialize`` records whether lanes may share an
+    indirect target (see the module docstring's scatter rule).  Gather
+    index arrays are memoized per ``(map uid, slot)`` so every loop that
+    shares the plan — and every subsequent time step — reuses them.
+    """
+
+    __slots__ = ("elems", "serialize", "contiguous", "_indices", "_counters")
+
+    def __init__(
+        self,
+        elems: np.ndarray,
+        serialize: bool,
+        counters: Optional[Dict[str, int]] = None,
+    ) -> None:
+        self.elems = elems
+        self.serialize = serialize
+        self._counters = counters if counters is not None else {}
+        #: True when ``elems`` is an ascending unit-stride range, letting
+        #: direct arguments pass zero-copy views instead of gathers.
+        self.contiguous = is_contiguous_range(elems)
+        self._indices: Dict[Tuple[int, int], np.ndarray] = {}
+
+    def index_for(self, arg: Arg) -> np.ndarray:
+        """Cached gather/scatter indices for one indirect argument.
+
+        ``(chunk,)`` for a single-slot argument, ``(chunk, arity)`` for a
+        vector (``IDX_ALL``) argument.  Computed once per (map, slot) and
+        phase; ``Plan.gather_stats["hits"/"misses"]`` count reuse.
+        """
+        slot = IDX_ALL if arg.is_vector else arg.index
+        key = (arg.map._uid, slot)
+        idx = self._indices.get(key)
+        if idx is None:
+            if arg.is_vector:
+                idx = arg.map.values[self.elems]
+            else:
+                idx = arg.map.values[self.elems, arg.index]
+            self._indices[key] = idx
+            self._counters["misses"] = self._counters.get("misses", 0) + 1
+        else:
+            self._counters["hits"] = self._counters.get("hits", 0) + 1
+        return idx
 
 
 @dataclass
@@ -76,6 +169,12 @@ class Plan:
     permutation: Optional[Permutation] = None
     block_permutation: Optional[BlockPermutation] = None
     build_stats: Dict[str, float] = field(default_factory=dict)
+    #: Memoized whole-color phase lists, keyed by ``(n, start)``.
+    _phase_cache: Dict[Tuple[int, int], List[Phase]] = field(
+        default_factory=dict, repr=False
+    )
+    #: Gather-index cache accounting shared by all this plan's phases.
+    gather_stats: Dict[str, int] = field(default_factory=dict, repr=False)
 
     @property
     def nblocks(self) -> int:
@@ -85,6 +184,92 @@ class Plan:
         if self.elem_colors is None:
             return 1
         return int(self.block_ncolors.max(initial=1))
+
+    # ------------------------------------------------------------------
+    # Whole-color batched schedule (the mega-batch fast path).
+    # ------------------------------------------------------------------
+    def phases(self, n: int, start: int = 0) -> List["Phase"]:
+        """Conflict-free color phases covering ``[start, n)``.
+
+        Phase construction per scheme (see the module docstring for the
+        scatter rule each phase's ``serialize`` flag encodes):
+
+        ``direct``
+            One contiguous phase — the loop has no races at all.
+        ``two_level``
+            One phase per *block color*: same-colored blocks never share
+            an indirect target, so their concatenated element ranges run
+            together; within the phase elements of one block may collide,
+            hence ``serialize=True``.  Element order matches the chunked
+            execution exactly, so INC results are bitwise identical.
+        ``full_permute``
+            One phase per global element color (``serialize=False``).
+        ``block_permute``
+            One phase per (block color, local element color): blocks of a
+            color group are mutually race-free and each contributes only
+            its color-``c`` elements, so the union is conflict-free
+            (``serialize=False``).
+
+        Results are memoized on the plan keyed by ``(n, start)``; the MPI
+        substrate's core/boundary splits each get their own entry.
+        """
+        key = (int(n), int(start))
+        cached = self._phase_cache.get(key)
+        if cached is not None:
+            return cached
+        phases = self._build_phases(int(n), int(start))
+        self._phase_cache[key] = phases
+        return phases
+
+    def _build_phases(self, n: int, start: int) -> List["Phase"]:
+        stats = self.gather_stats
+        if self.is_direct:
+            elems = np.arange(start, n, dtype=np.int64)
+            return [Phase(elems, serialize=False, counters=stats)] if elems.size else []
+
+        phases: List[Phase] = []
+        if self.scheme == "two_level":
+            for color_blocks in self.blocks_by_color:
+                ranges = []
+                for b in color_blocks:
+                    lo, hi = self.layout.block_range(int(b))
+                    lo, hi = max(lo, start), min(hi, n)
+                    if lo < hi:
+                        ranges.append(np.arange(lo, hi, dtype=np.int64))
+                if ranges:
+                    phases.append(
+                        Phase(np.concatenate(ranges), serialize=True,
+                              counters=stats)
+                    )
+        elif self.scheme == "full_permute":
+            for c in range(self.permutation.ncolors):
+                elems = self.permutation.color_slice(c)
+                elems = elems[(elems >= start) & (elems < n)]
+                if elems.size:
+                    phases.append(Phase(elems, serialize=False, counters=stats))
+        elif self.scheme == "block_permute":
+            bp = self.block_permutation
+            for color_blocks in self.blocks_by_color:
+                max_c = max(
+                    (bp.block_ncolors(int(b)) for b in color_blocks), default=0
+                )
+                for c in range(max_c):
+                    slices = []
+                    for b in color_blocks:
+                        if c >= bp.block_ncolors(int(b)):
+                            continue
+                        elems = bp.block_color_slice(int(b), c)
+                        elems = elems[(elems >= start) & (elems < n)]
+                        if elems.size:
+                            slices.append(elems)
+                    if slices:
+                        phases.append(
+                            Phase(np.concatenate(slices), serialize=False,
+                                  counters=stats)
+                        )
+        else:  # pragma: no cover - schemes validated at plan build
+            raise ValueError(f"Unknown plan scheme {self.scheme!r}")
+        return phases
 
 
 def plan_signature(

@@ -1,24 +1,64 @@
-"""Runtime configuration: backend selection, plan cache, loop accounting.
+"""Runtime configuration: backend selection, plan caches, loop accounting.
 
 OP2 separates the application (written once against the API) from the
 backend chosen at build/run time; here the same separation is a runtime
 :class:`Runtime` object.  A module-level default runtime keeps the common
 case (serial experimentation) zero-ceremony, while benchmarks construct
 isolated runtimes per configuration.
+
+Two cache levels keep steady-state ``par_loop`` calls cheap:
+
+1. the structural :class:`~repro.core.plan.PlanCache` (coloring reused by
+   every loop with the same racing access structure), and
+2. a **loop cache** keyed by ``(kernel, set, args signature)`` — the
+   exact call site — that skips even the signature normalization and
+   returns the memoized plan directly.  Because plans memoize their
+   whole-color phases and gather index arrays
+   (:meth:`~repro.core.plan.Plan.phases`), a cache hit here means a
+   repeated invocation rebuilds *no* index arrays at all.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence, Tuple
 
 from ..backends.autovec import AutoVecBackend
 from ..backends.base import Backend
 from ..backends.openmp import OpenMPBackend
-from .codegen import CodegenBackend
 from ..backends.sequential import SequentialBackend
 from ..backends.simt import SIMTBackend
 from ..backends.vectorized import VectorizedBackend
-from .plan import DEFAULT_BLOCK_SIZE, PlanCache
+from .access import Arg
+from .codegen import CodegenBackend
+from .dat import _check_layout
+from .kernel import Kernel
+from .plan import DEFAULT_BLOCK_SIZE, Plan, PlanCache
+from .set import Set
+
+
+def loop_signature(kernel: Kernel, set_: Set, args: Sequence[Arg]) -> Tuple:
+    """Hashable identity of one ``par_loop`` call site.
+
+    Unlike :func:`~repro.core.plan.plan_signature` (which keys only the
+    racing structure), this keys the full argument *shape* — maps, slots
+    and access modes per position — so it can stand in for re-normalizing
+    the arguments on every invocation.  Dat identity is deliberately
+    excluded: plans depend on access structure, never on which Dat flows
+    through it, and keying on Dats would grow the cache without bound for
+    apps that allocate scratch Dats every time step.
+    """
+    return (
+        kernel.name,
+        set_._uid,
+        tuple(
+            (
+                arg.map._uid if arg.map is not None else -1,
+                arg.index,
+                arg.access.name,
+            )
+            for arg in args
+        ),
+    )
 
 
 def make_backend(name: str, **options) -> Backend:
@@ -57,6 +97,10 @@ class Runtime:
         ``full_permute`` or ``block_permute``.
     coloring_method:
         ``auto``, ``greedy`` (serial sweep) or ``jp`` (vectorized rounds).
+    layout:
+        Default :class:`~repro.core.dat.Dat` storage layout (``"aos"`` or
+        ``"soa"``) the application drivers apply when allocating state;
+        ``None`` leaves the process default untouched.
     """
 
     def __init__(
@@ -65,6 +109,7 @@ class Runtime:
         block_size: int = DEFAULT_BLOCK_SIZE,
         scheme: str = "two_level",
         coloring_method: str = "auto",
+        layout: Optional[str] = None,
     ) -> None:
         self.backend = (
             backend if isinstance(backend, Backend) else make_backend(backend)
@@ -72,7 +117,49 @@ class Runtime:
         self.block_size = int(block_size)
         self.scheme = scheme
         self.coloring_method = coloring_method
+        self.layout = _check_layout(layout) if layout is not None else None
         self.plans = PlanCache()
+        self._loop_plans: Dict[Tuple, Plan] = {}
+        self.loop_cache_hits = 0
+        self.loop_cache_misses = 0
+
+    # ------------------------------------------------------------------
+    def plan_for(self, kernel: Kernel, set_: Set, args: Sequence[Arg]) -> Plan:
+        """Plan lookup for one call site, through the two-level cache.
+
+        First consults the loop cache (exact call-site identity); on a
+        miss, falls through to the structural :class:`PlanCache` (which
+        may still hit — e.g. two kernels sharing a racing structure) and
+        records the resolved plan under the call-site key.
+        """
+        key = loop_signature(kernel, set_, args)
+        plan = self._loop_plans.get(key)
+        if plan is not None:
+            self.loop_cache_hits += 1
+            return plan
+        self.loop_cache_misses += 1
+        plan = self.plans.get(
+            set_, args, self.block_size, self.scheme, self.coloring_method
+        )
+        self._loop_plans[key] = plan
+        return plan
+
+    def clear_caches(self) -> None:
+        """Drop both cache levels (cold-start; used by the cache ablation)."""
+        self.plans.clear()
+        self._loop_plans.clear()
+        self.loop_cache_hits = 0
+        self.loop_cache_misses = 0
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Counters for the caching ablation tables."""
+        return {
+            "loop_hits": self.loop_cache_hits,
+            "loop_misses": self.loop_cache_misses,
+            "plan_hits": self.plans.hits,
+            "plan_misses": self.plans.misses,
+            "plans": len(self.plans),
+        }
 
     # ------------------------------------------------------------------
     def configure(
@@ -81,6 +168,7 @@ class Runtime:
         block_size: Optional[int] = None,
         scheme: Optional[str] = None,
         coloring_method: Optional[str] = None,
+        layout: Optional[str] = None,
     ) -> "Runtime":
         """Update settings in place; plans are invalidated as needed."""
         if backend is not None:
@@ -89,11 +177,17 @@ class Runtime:
             )
         if block_size is not None and block_size != self.block_size:
             self.block_size = int(block_size)
+            self._loop_plans.clear()
         if scheme is not None:
+            if scheme != self.scheme:
+                self._loop_plans.clear()
             self.scheme = scheme
         if coloring_method is not None:
             self.coloring_method = coloring_method
             self.plans.clear()
+            self._loop_plans.clear()
+        if layout is not None:
+            self.layout = _check_layout(layout)
         return self
 
     @property

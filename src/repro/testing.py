@@ -1,0 +1,40 @@
+"""Shared test/benchmark helpers: the backend matrix and runtime factory.
+
+This lives in the package (rather than in a ``conftest.py``) so that both
+``tests/`` and ``benchmarks/`` can import it unambiguously — the two
+trees each carry their own ``conftest.py``, and a bare ``from conftest
+import ...`` resolves to whichever pytest imported first (the seed's
+collection error).  Importing from ``repro.testing`` is order-independent.
+"""
+
+from __future__ import annotations
+
+#: (backend name, scheme, options) matrix every equivalence test sweeps.
+BACKEND_MATRIX = [
+    ("sequential", "two_level", {}),
+    ("codegen", "two_level", {}),
+    ("openmp", "two_level", {}),
+    ("vectorized", "two_level", {}),
+    ("vectorized", "full_permute", {}),
+    ("vectorized", "block_permute", {}),
+    ("simt", "two_level", {"device": "cpu"}),
+    ("simt", "two_level", {"device": "phi"}),
+    ("autovec", "full_permute", {}),
+    ("autovec", "block_permute", {}),
+]
+
+#: Dat storage layouts the layout-equivalence tests sweep.
+LAYOUT_MATRIX = ["aos", "soa"]
+
+
+def runtime_for(name: str, scheme: str, options: dict, block_size: int = 64,
+                layout: str | None = None):
+    """Isolated :class:`~repro.core.Runtime` for one matrix entry."""
+    from repro.core import Runtime, make_backend
+
+    return Runtime(
+        backend=make_backend(name, **options),
+        block_size=block_size,
+        scheme=scheme,
+        layout=layout,
+    )

@@ -1,12 +1,19 @@
-"""Shared fixtures: small meshes, kernel sets, runtime configurations."""
+"""Shared fixtures: small meshes, kernel sets, runtime configurations.
+
+The backend matrix and runtime factory live in :mod:`repro.testing` (a
+proper package module, immune to the ``conftest``-name collision with
+``benchmarks/conftest.py``); they are re-exported here for convenience.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
 
-from repro.core import Runtime
 from repro.mesh import make_airfoil_mesh, make_tri_mesh
+from repro.testing import BACKEND_MATRIX, LAYOUT_MATRIX, runtime_for
+
+__all__ = ["BACKEND_MATRIX", "LAYOUT_MATRIX", "runtime_for"]
 
 
 @pytest.fixture(scope="session")
@@ -22,29 +29,3 @@ def tri_mesh_small():
 @pytest.fixture
 def rng():
     return np.random.default_rng(42)
-
-
-#: (backend name, scheme, options) matrix every equivalence test sweeps.
-BACKEND_MATRIX = [
-    ("sequential", "two_level", {}),
-    ("codegen", "two_level", {}),
-    ("openmp", "two_level", {}),
-    ("vectorized", "two_level", {}),
-    ("vectorized", "full_permute", {}),
-    ("vectorized", "block_permute", {}),
-    ("simt", "two_level", {"device": "cpu"}),
-    ("simt", "two_level", {"device": "phi"}),
-    ("autovec", "full_permute", {}),
-    ("autovec", "block_permute", {}),
-]
-
-
-def runtime_for(name: str, scheme: str, options: dict, block_size: int = 64
-                ) -> Runtime:
-    from repro.core import make_backend
-
-    return Runtime(
-        backend=make_backend(name, **options),
-        block_size=block_size,
-        scheme=scheme,
-    )

@@ -12,7 +12,7 @@ from repro.apps.airfoil import (
 from repro.core import Runtime, make_backend
 from repro.mesh import make_airfoil_mesh
 
-from conftest import BACKEND_MATRIX, runtime_for
+from repro.testing import BACKEND_MATRIX, runtime_for
 
 
 @pytest.fixture(scope="module")

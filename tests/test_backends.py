@@ -32,7 +32,7 @@ from repro.core import (
 )
 from repro.core.access import IDX_ALL, IDX_ID
 
-from conftest import BACKEND_MATRIX, runtime_for
+from repro.testing import BACKEND_MATRIX, runtime_for
 
 
 def ring_problem(n=37, dtype=np.float64, seed=0):

@@ -147,7 +147,30 @@ class TestPlanSignatureAndCache:
         kern = Kernel("k", k, kv)
         par_loop(kern, elems, *args, runtime=rt)
         par_loop(kern, elems, *args, runtime=rt)
-        assert rt.plans.hits == 1
+        # The repeated call site is answered by the loop cache; the
+        # structural PlanCache built the plan exactly once.
+        assert rt.loop_cache_hits == 1 and rt.loop_cache_misses == 1
+        assert rt.plans.misses == 1 and len(rt.plans) == 1
+
+    def test_loop_cache_shares_structural_plans(self):
+        """Two kernels with the same racing structure share one plan."""
+        elems, args, _ = grid_loop()
+        rt = Runtime(backend="vectorized", block_size=8)
+
+        def k(w, a0, a1):
+            a0[0] += w[0]
+            a1[0] += w[0]
+
+        def kv(w, a0, a1):
+            a0[:, 0] += w[:, 0]
+            a1[:, 0] += w[:, 0]
+
+        par_loop(Kernel("k1", k, kv), elems, *args, runtime=rt)
+        par_loop(Kernel("k2", k, kv), elems, *args, runtime=rt)
+        # Distinct call sites -> two loop-cache entries, but the second
+        # falls through to a structural PlanCache hit (shared coloring).
+        assert rt.loop_cache_misses == 2
+        assert rt.plans.hits == 1 and len(rt.plans) == 1
 
 
 class TestPlanOverride:

@@ -15,7 +15,7 @@ from repro.apps.volna import (
 from repro.core import Runtime
 from repro.mesh import make_tri_mesh
 
-from conftest import BACKEND_MATRIX, runtime_for
+from repro.testing import BACKEND_MATRIX, runtime_for
 
 
 @pytest.fixture(scope="module")
