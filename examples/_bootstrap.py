@@ -1,0 +1,17 @@
+"""Make ``python examples/<name>.py`` work from a source checkout.
+
+Examples import :mod:`repro`; in an installed environment that just
+works, but running straight from a clone the package lives under
+``src/``.  Importing this module (the first line of every example)
+prepends that directory to ``sys.path`` when — and only when — it
+exists and ``repro`` is not already importable.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+if importlib.util.find_spec("repro") is None:
+    _src = Path(__file__).resolve().parent.parent / "src"
+    if _src.is_dir():
+        sys.path.insert(0, str(_src))

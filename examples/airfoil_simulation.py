@@ -9,6 +9,8 @@ live counterpart of the paper's scalar-vs-vectorized experiment.
 Run:  python examples/airfoil_simulation.py [ni] [nj] [iters]
 """
 
+import _bootstrap  # noqa: F401  (sys.path setup for source checkouts)
+
 import sys
 import time
 

@@ -10,6 +10,8 @@ analyses (message counts, halo volumes, load imbalance).
 Run:  python examples/distributed_mpi.py [nranks]
 """
 
+import _bootstrap  # noqa: F401  (sys.path setup for source checkouts)
+
 import sys
 
 import numpy as np

@@ -9,6 +9,8 @@ backends on a scaled mesh.
 Run:  python examples/performance_study.py
 """
 
+import _bootstrap  # noqa: F401  (sys.path setup for source checkouts)
+
 import numpy as np
 
 from repro.bench.measured import (

@@ -10,6 +10,8 @@ map of the free surface.
 Run:  python examples/tsunami_volna.py [nx] [ny] [minutes]
 """
 
+import _bootstrap  # noqa: F401  (sys.path setup for source checkouts)
+
 import sys
 
 import numpy as np

@@ -11,6 +11,8 @@ serialized.  A scalar loop validates every step.
 Run:  python examples/vector_registers.py
 """
 
+import _bootstrap  # noqa: F401  (sys.path setup for source checkouts)
+
 import numpy as np
 
 from repro.simd import IntVec, VecReg, select, vector_width, vsqrt

@@ -50,6 +50,7 @@ from .core import (
     Global,
     Kernel,
     KernelInfo,
+    LoopChain,
     Map,
     Plan,
     Runtime,
@@ -57,6 +58,7 @@ from .core import (
     arg_dat,
     arg_gbl,
     build_plan,
+    chain,
     default_runtime,
     identity_map,
     kernel,
@@ -77,6 +79,7 @@ __all__ = [
     "INC",
     "Kernel",
     "KernelInfo",
+    "LoopChain",
     "MAX",
     "MIN",
     "Map",
@@ -89,6 +92,7 @@ __all__ = [
     "arg_dat",
     "arg_gbl",
     "build_plan",
+    "chain",
     "default_runtime",
     "identity_map",
     "kernel",

@@ -114,6 +114,7 @@ class VolnaSim:
         scenario: CoastalScenario = DEFAULT_SCENARIO,
         gravity: float = GRAVITY,
         cfl: float = CFL,
+        chained: bool = True,
     ) -> None:
         self.mesh = (
             mesh
@@ -125,11 +126,17 @@ class VolnaSim:
         self.dtype = np.dtype(dtype)
         self.runtime = runtime
         self.scenario = scenario
+        self.chained = bool(chained)
         self.kernels: Dict[str, object] = make_kernels(gravity, cfl)
         self.state = self._init_state()
         self.time = 0.0
         self.steps_run = 0
         self.dt_history: List[float] = []
+
+    def _runtime(self) -> Runtime:
+        from ...core.runtime import default_runtime
+
+        return self.runtime if self.runtime is not None else default_runtime()
 
     # ------------------------------------------------------------------
     def _init_state(self) -> VolnaState:
@@ -158,10 +165,18 @@ class VolnaSim:
 
     # ------------------------------------------------------------------
     def _loop_args(self, q_in: Dat) -> Dict[str, tuple]:
+        """Loop signatures for one stage; memoized per ``q_in`` Dat
+        (stage 1 reads ``q``, stage 2 reads ``q_mid`` — two entries)."""
+        cache = getattr(self, "_loop_args_cache", None)
+        if cache is None:
+            cache = self._loop_args_cache = {}
+        cached = cache.get(q_in)
+        if cached is not None:
+            return cached
         m, s = self.mesh, self.state
         e2c = m.map("edge2cell")
         c2e = m.map("cell2edge")
-        return {
+        cache[q_in] = {
             "compute_flux": (
                 m.edges,
                 arg_dat(s.geom, IDX_ID, None, READ),
@@ -210,6 +225,7 @@ class VolnaSim:
                 arg_dat(s.q_out, IDX_ID, None, WRITE),
             ),
         }
+        return cache[q_in]
 
     def _run_loop(self, name: str, q_in: Dat) -> None:
         set_, *args = self._loop_args(q_in)[name]
@@ -217,7 +233,21 @@ class VolnaSim:
 
     # ------------------------------------------------------------------
     def step(self) -> float:
-        """One SSP-RK2 step with adaptive CFL time step; returns dt."""
+        """One SSP-RK2 step with adaptive CFL time step; returns dt.
+
+        In chained mode (the default) the step body records into a
+        deferred loop chain; the mid-step ``dt`` read (the CFL-reduced
+        time step feeds the RK kernels) and the final ``dt_used`` read
+        are natural flush points through the Globals' read barriers, so
+        one step flushes as two batches — loops 1–3 (flux / dt / RHS)
+        and loops 4–9 (the RK updates and snapshot).
+        """
+        if self.chained:
+            with self._runtime().chain():
+                return self._step_body()
+        return self._step_body()
+
+    def _step_body(self) -> float:
         s = self.state
         # Stage 1: fluxes at q, dt reduction, RHS.
         s.dt.value = np.finfo(self.dtype).max

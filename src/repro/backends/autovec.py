@@ -52,3 +52,11 @@ class AutoVecBackend(VectorizedBackend):
                 f"kernel {kernel.name!r}"
             )
         super()._run(kernel, set_, args, plan, n, reductions, start)
+
+    def _group_batchable(self, group) -> bool:
+        # Chained fast path: never fuse an indirect two_level group —
+        # fall through to execute(), which raises the same scheme error
+        # eager execution would (chained and eager must behave alike).
+        if not group.plan.is_direct and group.plan.scheme == "two_level":
+            return False
+        return super()._group_batchable(group)

@@ -95,6 +95,12 @@ class Backend:
         start = int(start_element)
         if not (0 <= start <= n):
             raise ValueError(f"start_element {start} outside [0, {n}]")
+        # Flush any pending loop chain touching an argument (another
+        # runtime may be mid-trace over shared data).  Synced once per
+        # loop here so the per-element helpers below can read the raw
+        # ``_data`` storage without per-access barrier checks.
+        for arg in args:
+            arg.dat._sync()
         t0 = time.perf_counter()
         reductions = _init_reductions(args)
         self._run(kernel, set_, args, plan, n, reductions, start)
@@ -104,6 +110,23 @@ class Backend:
 
     def _run(self, kernel, set_, args, plan, n, reductions, start=0) -> None:
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def run_chain(self, compiled) -> None:
+        """Execute a :class:`~repro.core.chain.CompiledChain`.
+
+        Generic fallback: run every recorded loop in order through
+        :meth:`execute` — trivially bitwise identical to eager
+        execution.  Backends with a batched fast path (vectorized,
+        autovec) override this to execute fused groups
+        phase-interleaved with shared coloring and gather indices.
+        """
+        for group in compiled.groups:
+            for bl in group.loops:
+                self.execute(
+                    bl.kernel, bl.set, bl.args, bl.plan,
+                    n_elements=bl.n, start_element=bl.start,
+                )
 
     def reset_stats(self) -> None:
         self.stats.clear()
@@ -141,10 +164,14 @@ def scalar_views(args: Sequence[Arg], e: int, reductions: Dict[int, np.ndarray])
     views = []
     writebacks = []
     for i, arg in enumerate(args):
+        # Per-element hot path: read the raw ``_data`` storage — the
+        # caller (Backend.execute) synced every argument's barrier once
+        # up front, so the logical view is current and the per-access
+        # property dispatch is avoided.
         if arg.is_global:
-            views.append(reductions[i] if i in reductions else arg.dat.data)
+            views.append(reductions[i] if i in reductions else arg.dat._data)
         elif arg.is_direct:
-            views.append(arg.dat.data[e])
+            views.append(arg.dat._data[e])
         elif arg.is_vector:
             idx = arg.map.values[e]
             if arg.access is Access.INC:
@@ -153,12 +180,12 @@ def scalar_views(args: Sequence[Arg], e: int, reductions: Dict[int, np.ndarray])
                 buf = np.zeros((arg.map.arity, arg.dat.dim), arg.dat.dtype)
                 writebacks.append((i, idx, buf, True))
             else:
-                buf = arg.dat.data[idx]  # gathered copy
+                buf = arg.dat._data[idx]  # gathered copy
                 if arg.access.writes:
                     writebacks.append((i, idx, buf, False))
             views.append(buf)
         else:
-            views.append(arg.dat.data[arg.map.values[e, arg.index]])
+            views.append(arg.dat._data[arg.map.values[e, arg.index]])
     return tuple(views), writebacks
 
 
@@ -173,9 +200,9 @@ def run_scalar_element(
     scalar(*views)
     for i, idx, buf, is_inc in writebacks:
         if is_inc:
-            np.add.at(args[i].dat.data, idx, buf)
+            np.add.at(args[i].dat._data, idx, buf)
         else:
-            args[i].dat.data[idx] = buf
+            args[i].dat._data[idx] = buf
 
 
 # ----------------------------------------------------------------------

@@ -36,14 +36,145 @@ warm-vs-cold cache).
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from ..core.access import Access
-from .base import Backend, gather_batch, run_scalar_element, scatter_batch
+from .base import (
+    Backend,
+    LoopStats,
+    _fold_reductions,
+    _init_reductions,
+    gather_batch,
+    run_scalar_element,
+    scatter_batch,
+)
 
 #: Batch strategies: one fused call per conflict-free color vs the
 #: faithful per-chunk loop.
 BATCH_MODES = ("color", "chunk")
+
+
+class _PhaseExec:
+    """One loop's *prepared* execution of one conflict-free phase.
+
+    Mirrors :func:`~repro.backends.base.gather_batch` /
+    :func:`~repro.backends.base.scatter_batch` operation-for-operation,
+    but with every per-argument decision resolved at preparation time:
+
+    * direct contiguous arguments are prebound zero-copy views (no
+      per-run work at all);
+    * READ globals are prebound to their (stable) value arrays;
+    * gather-index arrays come from the phase's per-(map, slot) cache,
+      bound once;
+    * indirect-INC accumulators and global-reduction partials are
+      preallocated and refilled in place each run instead of
+      reallocated.
+
+    A steady-state replay therefore consists of exactly the numpy calls
+    eager execution performs — the gathers, the vector kernel, the
+    scatters, the reduction folds — in the same order on the same
+    operands, which keeps results bitwise identical while shedding the
+    per-argument Python dispatch.
+    """
+
+    __slots__ = ("kernel_vec", "proto", "fills", "gathers", "writebacks",
+                 "folds")
+
+    def __init__(self, bl, phase) -> None:
+        args = bl.args
+        elems = phase.elems
+        nl = elems.size
+        contiguous = phase.contiguous
+        serialize = phase.serialize
+        self.kernel_vec = bl.kernel.vector
+        self.proto = []       # per-arg prebound array, or None (gathered)
+        self.fills = []       # (buffer, fill value) refilled each run
+        self.gathers = []     # (pos, is_mapped_gather, dat, index array)
+        self.writebacks = []  # (kind, dat, index array, pos, serialize)
+        self.folds = []       # (reduction slot, pos, access mode)
+        for i, arg in enumerate(args):
+            dat = arg.dat
+            if arg.is_global:
+                if arg.access.is_reduction:
+                    acc = np.zeros((nl, dat.dim), dtype=dat.dtype)
+                    fill = (
+                        0 if arg.access is Access.INC
+                        else dat.identity_for(arg.access)
+                    )
+                    self.proto.append(acc)
+                    self.fills.append((acc, fill))
+                    self.folds.append((i, i, arg.access))
+                else:
+                    self.proto.append(dat.data)  # stable value array
+            elif arg.is_direct:
+                if contiguous:
+                    lo = int(elems[0])
+                    # Zero-copy in-place view, exactly what gather_batch
+                    # passes; writes land directly, no writeback.
+                    self.proto.append(dat._data[lo:lo + nl])
+                else:
+                    self.proto.append(None)
+                    self.gathers.append((i, False, dat, elems))
+                    if arg.access.writes:
+                        self._add_writeback(arg, dat, elems, i, serialize)
+            else:
+                idx = phase.index_for(arg)
+                if arg.access is Access.INC:
+                    shape = (
+                        (nl, arg.map.arity, dat.dim)
+                        if arg.is_vector else (nl, dat.dim)
+                    )
+                    buf = np.zeros(shape, dtype=dat.dtype)
+                    self.proto.append(buf)
+                    self.fills.append((buf, 0))
+                    self._add_writeback(arg, dat, idx, i, serialize)
+                else:
+                    self.proto.append(None)
+                    self.gathers.append((i, True, dat, idx))
+                    if arg.access.writes:
+                        self._add_writeback(arg, dat, idx, i, serialize)
+
+    def _add_writeback(self, arg, dat, idx, pos, serialize) -> None:
+        if arg.access is Access.INC:
+            if arg.is_vector:
+                # Vector-INC lanes flatten (chunk, arity) targets; one
+                # element's own slots may coincide, so always serialize
+                # (same rule as scatter_batch).
+                self.writebacks.append(("incv", dat, idx.reshape(-1), pos,
+                                        True))
+            else:
+                self.writebacks.append(("inc", dat, idx, pos, serialize))
+        else:
+            self.writebacks.append(("scatter", dat, idx, pos, None))
+
+    def run(self, reductions) -> None:
+        arrays = self.proto.copy()
+        for buf, fill in self.fills:
+            buf[...] = fill
+        for pos, mapped, dat, idx in self.gathers:
+            arrays[pos] = dat.gather(idx) if mapped else dat._data[idx]
+        self.kernel_vec(*arrays)
+        for kind, dat, idx, pos, ser in self.writebacks:
+            local = arrays[pos]
+            if kind == "inc":
+                dat.scatter_add(idx, local, serialize=ser)
+            elif kind == "incv":
+                dat.scatter_add(idx, local.reshape(-1, dat.dim),
+                                serialize=True)
+            else:
+                dat.scatter(idx, local)
+        for slot, pos, mode in self.folds:
+            partial = arrays[pos]
+            if mode is Access.INC:
+                reductions[slot] += partial.sum(axis=0)
+            elif mode is Access.MIN:
+                np.minimum(reductions[slot], partial.min(axis=0),
+                           out=reductions[slot])
+            else:
+                np.maximum(reductions[slot], partial.max(axis=0),
+                           out=reductions[slot])
 
 
 class VectorizedBackend(Backend):
@@ -140,6 +271,98 @@ class VectorizedBackend(Backend):
             kernel.vector(*batch.arrays)
             scatter_batch(args, batch, reductions,
                           serialize_inc=phase.serialize)
+
+    # ------------------------------------------------------------------
+    # Chained execution: precompiled fused fast path (see core/chain.py).
+    # ------------------------------------------------------------------
+    def run_chain(self, compiled) -> None:
+        """Execute a compiled chain through a prepared replay program.
+
+        On first sight of a :class:`~repro.core.chain.CompiledChain`
+        this backend *prepares* it: every batchable loop's per-phase
+        gather → vector-kernel → scatter sequence is resolved into
+        prebound operations (:class:`_PhaseExec`) — argument
+        classification, contiguous direct views, gather-index arrays,
+        increment/reduction buffers all bound once.  Steady-state
+        replay then runs only the numpy calls themselves, none of the
+        per-argument Python dispatch the eager path repeats every time
+        step.
+
+        Fused (multi-loop) groups run *phase-interleaved*: one pass
+        over the shared plan's conflict-free phases, executing every
+        loop per phase, sharing the phase's memoized gather-index
+        arrays.  Chain legality
+        (:func:`repro.core.chain.pair_fusable`) guarantees the
+        interleaving — and the buffer reuse — is bitwise identical to
+        eager loop-at-a-time execution.  Groups the fast path cannot
+        take (scalar-only kernels, chunked mode, WRITE/RW races under
+        ``two_level``) fall back to the eager :meth:`execute` per loop.
+        """
+        program = compiled.exec_cache.get(self)
+        if program is None:
+            program = [self._prepare_group(g) for g in compiled.groups]
+            compiled.exec_cache[self] = program
+        for run_group in program:
+            run_group()
+
+    def _group_batchable(self, group) -> bool:
+        """Whether every loop of a group can take the phase fast path."""
+        if self.batch != "color":
+            return False
+        plan = group.plan
+        for bl in group.loops:
+            if not bl.kernel.has_vector_form:
+                return False
+            if (
+                not plan.is_direct
+                and plan.scheme == "two_level"
+                and any(
+                    arg.races and arg.access is not Access.INC
+                    for arg in bl.args
+                )
+            ):
+                return False
+        return True
+
+    def _prepare_group(self, group):
+        """Compile one group into a zero-re-analysis replay closure."""
+        if not self._group_batchable(group):
+            # Conservative fallback: eager execution per loop (which
+            # itself falls back to scalar sweeps etc. exactly as an
+            # un-chained par_loop would).
+            def run_eager() -> None:
+                for bl in group.loops:
+                    self.execute(
+                        bl.kernel, bl.set, bl.args, bl.plan,
+                        n_elements=bl.n, start_element=bl.start,
+                    )
+
+            return run_eager
+
+        loops = group.loops
+        phases = group.plan.phases(group.n, group.start)
+        # phase_execs[k][p]: loop k's prepared execution of phase p.
+        phase_execs = [
+            [_PhaseExec(bl, phase) for phase in phases] for bl in loops
+        ]
+        n = group.n - group.start
+        stats = self.stats
+
+        def run_group() -> None:
+            reductions = [_init_reductions(bl.args) for bl in loops]
+            elapsed = [0.0] * len(loops)
+            for p in range(len(phases)):
+                for k in range(len(loops)):
+                    t0 = time.perf_counter()
+                    phase_execs[k][p].run(reductions[k])
+                    elapsed[k] += time.perf_counter() - t0
+            for k, bl in enumerate(loops):
+                _fold_reductions(bl.args, reductions[k])
+                stats.setdefault(bl.kernel.name, LoopStats()).record(
+                    elapsed[k], n
+                )
+
+        return run_group
 
     # ------------------------------------------------------------------
     # Chunked (hardware-faithful) path.

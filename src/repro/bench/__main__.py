@@ -16,7 +16,12 @@ import sys
 
 from .figures import ALL_FIGURES
 from .harness import RESULTS_DIR
-from .measured import ALL_ABLATIONS, batch_ablation, measured_speedups
+from .measured import (
+    ALL_ABLATIONS,
+    batch_ablation,
+    loop_chain_ablation,
+    measured_speedups,
+)
 from .tables import ALL_TABLES
 
 
@@ -63,6 +68,9 @@ def main(argv=None) -> int:
         )
         print(quick.render())
         print(f"[saved {quick.save('BENCH_quick_batch', args.outdir)}]\n")
+        chain_t = loop_chain_ablation(mesh=make_airfoil_mesh(24, 12), steps=5)
+        print(chain_t.render())
+        print(f"[saved {chain_t.save('ablation_loop_chain', args.outdir)}]\n")
         print(f"Results under {args.outdir or RESULTS_DIR}/")
         return 0
 
@@ -88,6 +96,10 @@ def main(argv=None) -> int:
             table = gen()
             print(table.render())
             table.save(f"BENCH_{name}", args.outdir)
+        # The loop-chain ablation keeps its acceptance-artifact name.
+        table = loop_chain_ablation()
+        print(table.render())
+        table.save("ablation_loop_chain", args.outdir)
 
     print(f"Results under {args.outdir or RESULTS_DIR}/")
     return 0

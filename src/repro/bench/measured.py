@@ -48,6 +48,7 @@ def time_app(
     repeats: int = 1,
     layout: Optional[str] = None,
     cold_caches: bool = False,
+    chained: bool = False,
 ) -> float:
     """Median wall-clock seconds for ``steps`` solver steps.
 
@@ -55,7 +56,9 @@ def time_app(
     (``"aos"``/``"soa"``); ``cold_caches=True`` drops the runtime's plan
     and loop caches before every step, so each step pays full plan
     construction and gather-index rebuild — the caching ablation's
-    baseline.
+    baseline.  ``chained=True`` runs the time step as a deferred loop
+    chain (trace → memoized fused schedule) instead of eager per-loop
+    dispatch.
     """
     times = []
     for _ in range(max(1, repeats)):
@@ -66,14 +69,14 @@ def time_app(
         if app == "airfoil":
             sim = AirfoilSim(
                 mesh if mesh is not None else make_airfoil_mesh(48, 24),
-                runtime=rt,
+                runtime=rt, chained=chained,
             )
         elif app == "volna":
             sim = VolnaSim(
                 mesh if mesh is not None else make_tri_mesh(
                     28, 21, 100_000.0, 75_000.0
                 ),
-                dtype=np.float64, runtime=rt,
+                dtype=np.float64, runtime=rt, chained=chained,
             )
         else:
             raise ValueError(f"Unknown app {app!r}")
@@ -228,6 +231,60 @@ def cache_ablation(
         "step: each step pays coloring, plan build and gather-index "
         "reconstruction.  Warm runs re-derive nothing — OP2's "
         "plan-reuse argument, measured."
+    )
+    return t
+
+
+def loop_chain_ablation(
+    mesh: Optional[UnstructuredMesh] = None,
+    steps: int = 20,
+) -> ReportTable:
+    """Chained (deferred, fused, memoized) vs eager warm execution.
+
+    Both sides run with warm plan/loop caches — the comparison isolates
+    what the loop-chain redesign adds *on top of* plan caching: no
+    per-loop validation or cache lookups, fused adjacent direct loops,
+    and a precompiled replay program with prebound views, gather
+    indices and buffers (``ablation_loop_chain`` is the acceptance
+    artifact: chained ≥ 1.2x on the vectorized backend).
+    """
+    configs = {
+        ("airfoil", "vectorized two_level"): ("airfoil", "vectorized",
+                                              "two_level", {}),
+        ("airfoil", "vectorized full permute"): ("airfoil", "vectorized",
+                                                 "full_permute", {}),
+        ("airfoil", "autovec full permute"): ("airfoil", "autovec",
+                                              "full_permute", {}),
+        ("airfoil", "scalar (sequential)"): ("airfoil", "sequential",
+                                             "two_level", {}),
+        ("volna", "vectorized two_level"): ("volna", "vectorized",
+                                            "two_level", {}),
+    }
+    t = ReportTable(
+        "Ablation: deferred loop chain vs eager dispatch (warm caches)"
+    )
+    t.meta.update({"steps": steps, "knob": "loop chain"})
+    for (app, label), (app_, backend, scheme, options) in configs.items():
+        m = mesh if app == "airfoil" else None
+        eager = time_app(app_, backend, scheme, options, mesh=m,
+                         steps=steps, chained=False)
+        chained = time_app(app_, backend, scheme, options, mesh=m,
+                           steps=steps, chained=True)
+        t.add(
+            app=app,
+            Backend=label,
+            **{
+                "eager ms/step": round(eager * 1e3, 3),
+                "chained ms/step": round(chained * 1e3, 3),
+                "chained speedup": round(eager / chained, 2),
+            },
+        )
+    t.note(
+        "Chained steps trace par_loops into a LoopChain, replay a "
+        "memoized pre-fused schedule (runtime chain cache), and on the "
+        "batched backends execute through prepared per-phase programs "
+        "(core/chain.py, backends/vectorized.py).  The sequential row "
+        "shows the generic fallback: correctness without the fast path."
     )
     return t
 

@@ -29,6 +29,17 @@ from .access import (
     arg_dat,
     arg_gbl,
 )
+from .chain import (
+    ChainAnalysis,
+    CompiledChain,
+    LoopChain,
+    LoopSpec,
+    analyze_dependencies,
+    chain,
+    compile_chain,
+    fusion_groups,
+    pair_fusable,
+)
 from .codegen import CodegenBackend, compile_loop, generate_loop_source
 from .dat import (
     LAYOUTS,
@@ -48,8 +59,12 @@ from .set import Set
 __all__ = [
     "Access",
     "Arg",
+    "ChainAnalysis",
+    "CompiledChain",
     "DEFAULT_BLOCK_SIZE",
     "Dat",
+    "LoopChain",
+    "LoopSpec",
     "Global",
     "IDX_ALL",
     "IDX_ID",
@@ -68,11 +83,16 @@ __all__ = [
     "Set",
     "WRITE",
     "CodegenBackend",
+    "analyze_dependencies",
     "arg_dat",
     "arg_gbl",
     "build_plan",
+    "chain",
+    "compile_chain",
     "compile_loop",
+    "fusion_groups",
     "generate_loop_source",
+    "pair_fusable",
     "dat_layout",
     "default_runtime",
     "get_default_layout",

@@ -1,0 +1,502 @@
+"""Deferred-execution loop chains — trace, fuse, and batch ``par_loop``s.
+
+The paper's speedups come from doing expensive analysis once and
+amortizing it over many identical time steps.  The eager path already
+caches plans per call site, but it still validates, dispatches and
+synchronizes every loop independently.  A :class:`LoopChain` treats a
+*sequence* of loops as the unit of execution instead (Luporini et al.'s
+"loop chain" abstraction, PAPERS.md), traced Dr.Jit-style::
+
+    with runtime.chain():
+        par_loop(save_soln, cells, ...)     # recorded, not executed
+        par_loop(adt_calc, cells, ...)
+        ...
+    # exit (or any read of a traced Dat/Global) flushes the chain
+
+Recording is cheap: each ``par_loop`` becomes a :class:`LoopSpec` node.
+At flush time the chain is *compiled* — dependency analysis
+(:func:`analyze_dependencies`), fusion of adjacent compatible loops
+(:func:`fusion_groups`), plan resolution through the runtime's two cache
+levels — and the compiled schedule is handed to the backend's
+:meth:`~repro.backends.base.Backend.run_chain` entry point.  Compiled
+chains are memoized on the runtime by structural signature (the *third*
+cache level, above the loop cache), so a steady-state time step replays
+a pre-analyzed, pre-fused schedule with zero re-analysis.
+
+Flush points
+------------
+A chain flushes when
+
+1. the ``with`` block exits (the normal case),
+2. any Dat or Global *touched by a recorded loop* is accessed from host
+   code — :attr:`Dat.data` / :attr:`Global.value` carry a version
+   barrier that forces the pending loops to execute first, so a stale
+   read is impossible, or
+3. :meth:`LoopChain.flush` is called explicitly.
+
+An exception inside the ``with`` block *discards* the recorded loops
+(they never executed, so no partial state exists).
+
+Dependency analysis
+-------------------
+Edges between recorded loops follow the classical hazards over the data
+objects they touch: RAW (read after write), WAR (write after read) and
+WAW (write after write) all order loops, with one relaxation —
+**commuting reductions**: two ``INC`` (or two ``MIN``, or two ``MAX``)
+accesses to the same data commute, so back-to-back increment loops (e.g.
+Airfoil's ``res_calc`` → ``bres_calc`` both incrementing ``p_res``)
+carry no edge and share a dependency frontier.  Frontiers drive the MPI
+substrate's batched halo exchanges
+(:meth:`repro.mpi.decomposition.DistContext.chain`): one coalesced
+exchange per frontier instead of one per loop.
+
+Fusion legality
+---------------
+Adjacent loops fuse into one :class:`FusedGroup` (executed
+phase-interleaved by the batched backends, sharing coloring and cached
+gather-index arrays) only when the fusion is *provably bitwise
+identical* to eager execution:
+
+1. same iteration set and the same ``[start, n)`` range;
+2. identical plan (same structural plan signature — trivially true when
+   both loops are race-free/direct);
+3. every Dat accessed by two fused loops where at least one access
+   writes must be accessed **directly** by both (element ``e`` only
+   touches row ``e``, so per-phase interleaving preserves each
+   element's read-after-write order exactly);
+4. a Global reduced by one fused loop may not be read by another, and
+   two loops reducing the same Global must use the same reduction mode
+   (per-loop accumulators are folded in loop order, as eager does).
+
+Anything else stays a singleton group and executes exactly as the eager
+path would — the conservative fallback keeps chained execution bitwise
+identical to eager on every backend, which the test suite asserts over
+the full backend × layout matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .access import Access, Arg
+from .kernel import Kernel
+from .plan import Plan
+from .set import Set
+
+#: Reduction modes that commute with themselves (no dependency edge
+#: between two loops applying the same mode to the same data).
+_COMMUTING = (Access.INC, Access.MIN, Access.MAX)
+
+
+def _token(arg: Arg) -> Tuple[str, int]:
+    """Identity of the data object an argument touches."""
+    return ("g" if arg.is_global else "d", arg.dat._uid)
+
+
+@dataclass(frozen=True)
+class LoopSpec:
+    """One recorded (deferred) ``par_loop`` invocation."""
+
+    kernel: Kernel
+    set: Set
+    args: Tuple[Arg, ...]
+    n: int
+    start: int
+    plan: Optional[Plan] = None
+
+    def key(self) -> Tuple:
+        """Hashable structural identity (kernel, set, args, range).
+
+        Dats/maps hash by identity, so a steady-state time step that
+        re-records the same loops produces the same key — the chain
+        cache's hit condition.  Scratch Dats allocated per step change
+        the key and correctly force a re-compile.
+        """
+        return (
+            self.kernel,
+            self.set,
+            tuple(
+                (arg.dat, arg.map, arg.index, arg.access)
+                for arg in self.args
+            ),
+            self.n,
+            self.start,
+            # Plans hold numpy arrays (no value hash); identity is the
+            # right notion anyway — a pre-built override plan is reused
+            # by object.
+            id(self.plan) if self.plan is not None else None,
+        )
+
+
+@dataclass(frozen=True)
+class ChainAnalysis:
+    """Dependency structure of one recorded loop sequence.
+
+    ``edges`` holds ``(i, j)`` pairs meaning loop ``i`` must execute
+    before loop ``j``; ``levels[i]`` is the longest-path depth of loop
+    ``i`` in that DAG; ``frontiers`` groups *consecutive* loops of equal
+    level — mutually independent batches whose halo exchanges the MPI
+    substrate coalesces into one message per rank pair.
+    """
+
+    edges: frozenset
+    levels: Tuple[int, ...]
+    frontiers: Tuple[Tuple[int, ...], ...]
+
+
+def analyze_dependencies(specs: Sequence[LoopSpec]) -> ChainAnalysis:
+    """RAW/WAR/WAW hazard analysis over a recorded loop sequence.
+
+    Commuting reductions (INC-INC, MIN-MIN, MAX-MAX on the same data)
+    produce no edge; every other write-involved sharing does.  Analysis
+    is conservative about indirection: a write through *any* map
+    conflicts with any other access of the same Dat, because two
+    iteration-set elements may reach the same target row.
+    """
+    edges = set()
+    # Per data token: the last plain writer, reductions applied since
+    # then, and plain readers since then.
+    last_write: Dict[Tuple[str, int], int] = {}
+    reducers: Dict[Tuple[str, int], List[Tuple[int, Access]]] = {}
+    readers: Dict[Tuple[str, int], List[int]] = {}
+
+    def edge(i: int, j: int) -> None:
+        if i != j:
+            edges.add((i, j))
+
+    for i, spec in enumerate(specs):
+        for arg in spec.args:
+            tok = _token(arg)
+            acc = arg.access
+            if acc in _COMMUTING:
+                if tok in last_write:
+                    edge(last_write[tok], i)
+                for j, mode in reducers.get(tok, ()):  # mixed modes order
+                    if mode is not acc:
+                        edge(j, i)
+                for j in readers.get(tok, ()):  # WAR
+                    edge(j, i)
+                reducers.setdefault(tok, []).append((i, acc))
+            elif acc.writes:  # WRITE / RW
+                if tok in last_write:  # WAW
+                    edge(last_write[tok], i)
+                for j, _ in reducers.get(tok, ()):
+                    edge(j, i)
+                for j in readers.get(tok, ()):  # WAR
+                    edge(j, i)
+                last_write[tok] = i
+                reducers[tok] = []
+                readers[tok] = []
+            else:  # READ
+                if tok in last_write:  # RAW
+                    edge(last_write[tok], i)
+                for j, _ in reducers.get(tok, ()):  # read-after-reduce
+                    edge(j, i)
+                readers.setdefault(tok, []).append(i)
+
+    levels = []
+    for i in range(len(specs)):
+        preds = [levels[j] for (j, k) in edges if k == i]
+        levels.append(max(preds) + 1 if preds else 0)
+
+    frontiers: List[List[int]] = []
+    for i, lvl in enumerate(levels):
+        if frontiers and levels[frontiers[-1][-1]] == lvl:
+            frontiers[-1].append(i)
+        else:
+            frontiers.append([i])
+
+    return ChainAnalysis(
+        edges=frozenset(edges),
+        levels=tuple(levels),
+        frontiers=tuple(tuple(f) for f in frontiers),
+    )
+
+
+# ----------------------------------------------------------------------
+# Fusion
+# ----------------------------------------------------------------------
+def pair_fusable(a: LoopSpec, b: LoopSpec) -> bool:
+    """Whether two loops may execute phase-interleaved bitwise-safely.
+
+    Implements legality rules 3 and 4 of the module docstring (set /
+    range / plan compatibility are the group's responsibility).
+    """
+    touched: Dict[Tuple[str, int], List[Arg]] = {}
+    for arg in a.args:
+        touched.setdefault(_token(arg), []).append(arg)
+    for arg in b.args:
+        for other in touched.get(_token(arg), ()):
+            if not (arg.access.writes or other.access.writes):
+                continue  # concurrent reads never conflict
+            if arg.is_global:
+                # Same-mode reductions fold per-loop accumulators in
+                # loop order — identical to eager.  Anything else
+                # (read vs reduce, mixed modes) must not interleave.
+                if not (
+                    arg.access is other.access
+                    and arg.access.is_reduction
+                ):
+                    return False
+            else:
+                # Elementwise (direct-direct) dependencies survive
+                # phase interleaving; anything through a map may cross
+                # elements and must keep whole-loop ordering.
+                if not (arg.is_direct and other.is_direct):
+                    return False
+    return True
+
+
+def fusion_groups(
+    specs: Sequence[LoopSpec], plans: Sequence[Plan]
+) -> List[List[int]]:
+    """Partition the trace into maximal runs of fusable adjacent loops.
+
+    Order is never changed: groups are consecutive index runs, and a
+    loop joins the open group only if it is fusable against *every*
+    member (legality is pairwise but must hold group-wide).
+    """
+    groups: List[List[int]] = []
+    for i, spec in enumerate(specs):
+        if groups:
+            g = groups[-1]
+            head = specs[g[0]]
+            if (
+                spec.set is head.set
+                and spec.n == head.n
+                and spec.start == head.start
+                and plans[i] is plans[g[0]]
+                and all(pair_fusable(specs[j], spec) for j in g)
+            ):
+                g.append(i)
+                continue
+        groups.append([i])
+    return groups
+
+
+# ----------------------------------------------------------------------
+# Compiled form
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BoundLoop:
+    """A recorded loop with its plan resolved — ready to execute."""
+
+    kernel: Kernel
+    set: Set
+    args: Tuple[Arg, ...]
+    plan: Plan
+    n: int
+    start: int
+
+
+@dataclass(frozen=True)
+class FusedGroup:
+    """A maximal run of fusable loops sharing one plan and range.
+
+    Batched backends execute a multi-loop group phase-interleaved (one
+    pass over the plan's conflict-free phases, running every loop's
+    gather → kernel → scatter per phase, sharing the phase's cached
+    gather-index arrays); everything else executes the loops in order.
+    """
+
+    loops: Tuple[BoundLoop, ...]
+    plan: Plan
+    n: int
+    start: int
+
+    @property
+    def fused(self) -> bool:
+        return len(self.loops) > 1
+
+
+@dataclass(frozen=True)
+class CompiledChain:
+    """A pre-analyzed, pre-fused schedule for one trace signature."""
+
+    groups: Tuple[FusedGroup, ...]
+    analysis: ChainAnalysis
+    #: Per-backend prepared executor programs (populated lazily by
+    #: backends that specialize replay, e.g. the vectorized backend's
+    #: prebound gather/kernel/scatter closures).  Keyed by backend
+    #: instance; invalidated with the chain cache itself.
+    exec_cache: Dict = field(default_factory=dict, compare=False, repr=False)
+
+    @property
+    def n_loops(self) -> int:
+        return sum(len(g.loops) for g in self.groups)
+
+
+def compile_chain(specs: Sequence[LoopSpec], runtime) -> CompiledChain:
+    """Validate, resolve plans, fuse, and analyze one recorded sequence.
+
+    Validation happens here — once per distinct trace signature —
+    rather than per recorded call: a malformed loop raises at the first
+    flush of the trace containing it, and a memoized replay (which by
+    construction re-records a previously validated sequence) pays no
+    validation at all.
+    """
+    from .loop import validate_loop
+
+    for spec in specs:
+        validate_loop(spec.kernel, spec.set, spec.args)
+        # Same range check Backend.execute performs — the prepared
+        # replay programs bypass execute, and a chained loop must fail
+        # exactly where its eager twin would.
+        if not (0 <= spec.start <= spec.n):
+            raise ValueError(
+                f"start_element {spec.start} outside [0, {spec.n}]"
+            )
+    plans = [
+        spec.plan
+        if spec.plan is not None
+        else runtime.plan_for(spec.kernel, spec.set, spec.args)
+        for spec in specs
+    ]
+    groups = []
+    for idx_group in fusion_groups(specs, plans):
+        head = specs[idx_group[0]]
+        groups.append(
+            FusedGroup(
+                loops=tuple(
+                    BoundLoop(
+                        kernel=specs[i].kernel,
+                        set=specs[i].set,
+                        args=specs[i].args,
+                        plan=plans[i],
+                        n=specs[i].n,
+                        start=specs[i].start,
+                    )
+                    for i in idx_group
+                ),
+                plan=plans[idx_group[0]],
+                n=head.n,
+                start=head.start,
+            )
+        )
+    return CompiledChain(
+        groups=tuple(groups), analysis=analyze_dependencies(specs)
+    )
+
+
+# ----------------------------------------------------------------------
+# The user-facing trace object
+# ----------------------------------------------------------------------
+class LoopChain:
+    """A deferred-execution trace bound to one runtime.
+
+    Use as a context manager (``with runtime.chain() as ch:``); inside
+    the block every ``par_loop`` against that runtime records instead of
+    executing.  See the module docstring for flush semantics.
+    """
+
+    def __init__(self, runtime) -> None:
+        self.runtime = runtime
+        self._specs: List[LoopSpec] = []
+        self._touched: List[object] = []
+        self._flushing = False
+        #: Loops executed through this chain (diagnostics/tests).
+        self.flushed_loops = 0
+        self.flushes = 0
+
+    # -- recording -----------------------------------------------------
+    def record(
+        self,
+        kernel: Kernel,
+        set_: Set,
+        args: Sequence[Arg],
+        n_elements: Optional[int] = None,
+        start_element: int = 0,
+        plan: Optional[Plan] = None,
+    ) -> None:
+        """Append one loop to the trace and arm read barriers.
+
+        Validation is deferred to :func:`compile_chain` (once per
+        distinct trace signature) — recording stays cheap in steady
+        state; a malformed loop still raises at its trace's first flush.
+        """
+        n = set_.total_size if n_elements is None else int(n_elements)
+        self._specs.append(
+            LoopSpec(
+                kernel=kernel,
+                set=set_,
+                args=tuple(args),
+                n=n,
+                start=int(start_element),
+                plan=plan,
+            )
+        )
+        # Barrier every touched Dat/Global — reads too, so a host write
+        # to a Dat a pending loop *reads* also flushes first (the
+        # pending loop must observe the pre-write values, as eager
+        # execution would have).  A Dat already barriered by a
+        # *different* chain (two runtimes tracing over shared data) has
+        # that chain flushed first: its pending loops precede ours in
+        # program order, and the single barrier slot must end up
+        # guarding the latest pending writer.
+        for arg in args:
+            barrier = arg.dat._barrier
+            if barrier is not None and barrier is not self:
+                barrier.flush()
+                barrier = arg.dat._barrier
+            if barrier is None:
+                arg.dat._barrier = self
+                self._touched.append(arg.dat)
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    # -- execution -----------------------------------------------------
+    def flush(self) -> None:
+        """Compile (or fetch the memoized schedule) and execute the trace.
+
+        Idempotent and re-entrancy safe: barriers are disarmed before
+        execution, so backend data accesses do not recurse.
+        """
+        if self._flushing or not self._specs:
+            return
+        specs, self._specs = self._specs, []
+        self._disarm()
+        compiled = self.runtime.compiled_chain_for(specs)
+        self._flushing = True
+        try:
+            self.runtime.backend.run_chain(compiled)
+        finally:
+            self._flushing = False
+        self.flushed_loops += len(specs)
+        self.flushes += 1
+
+    def discard(self) -> None:
+        """Drop recorded loops without executing (exception path)."""
+        self._specs = []
+        self._disarm()
+
+    def _disarm(self) -> None:
+        for obj in self._touched:
+            if obj._barrier is self:
+                obj._barrier = None
+        self._touched = []
+
+    # -- context manager ----------------------------------------------
+    def __enter__(self) -> "LoopChain":
+        if self.runtime._active_chain is not None:
+            raise RuntimeError(
+                "a LoopChain is already active on this runtime; "
+                "chains do not nest"
+            )
+        self.runtime._active_chain = self
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.runtime._active_chain = None
+        if exc_type is not None:
+            self.discard()
+        else:
+            self.flush()
+
+
+def chain(runtime=None) -> LoopChain:
+    """Module-level convenience: a chain over the default runtime."""
+    from .runtime import default_runtime
+
+    return LoopChain(runtime if runtime is not None else default_runtime())

@@ -161,22 +161,48 @@ class Dat:
             self._storage = np.ascontiguousarray(aos.T)
         else:
             self._storage = np.ascontiguousarray(aos)
-        #: Logical ``(extent, dim)`` array, writable, aliasing the storage.
-        #: For AoS this *is* the storage; for SoA it is a transposed view.
-        #: All element-wise access patterns (``data[e]``, ``data[idx]``,
-        #: ``data[lo:hi]``, ``np.add.at(data, ...)``) work identically
-        #: under both layouts.  Bound once here (the storage is never
-        #: rebound) so the scalar per-element hot paths pay no property
-        #: dispatch.
-        self.data = self._storage.T if self.layout == "soa" else self._storage
+        # Logical (extent, dim) array, writable, aliasing the storage.
+        # For AoS this *is* the storage; for SoA it is a transposed view.
+        # All element-wise access patterns (data[e], data[idx],
+        # data[lo:hi], np.add.at(data, ...)) work identically under both
+        # layouts.  The view is bound once (the storage is never
+        # rebound); the :attr:`data` property only adds the deferred-
+        # execution read barrier check on top.
+        self._data = self._storage.T if self.layout == "soa" else self._storage
+        #: Pending :class:`~repro.core.chain.LoopChain` that has recorded
+        #: (but not yet executed) loops touching this Dat.  Any host
+        #: access through :attr:`data` / :attr:`storage` flushes it
+        #: first, so deferred execution can never serve a stale read.
+        self._barrier = None
 
     # ------------------------------------------------------------------
+    def _sync(self) -> None:
+        """Flush the pending loop chain (if any) before host access."""
+        barrier = self._barrier
+        if barrier is not None:
+            barrier.flush()
+
+    @property
+    def data(self) -> np.ndarray:
+        """Logical ``(extent, dim)`` array, writable, aliasing the storage.
+
+        Reading it while a :class:`~repro.core.chain.LoopChain` has
+        pending loops touching this Dat flushes the chain first (the
+        read/write-version barrier of the deferred-execution API); the
+        returned view is then always up to date.
+        """
+        barrier = self._barrier
+        if barrier is not None:
+            barrier.flush()
+        return self._data
+
     @property
     def storage(self) -> np.ndarray:
         """The physical C-contiguous array: ``(extent, dim)`` for AoS,
         ``(dim, extent)`` for SoA.  Exposed for diagnostics and layout-aware
         fast paths; mutate through :attr:`data` unless you know the layout.
         """
+        self._sync()
         return self._storage
 
     @property
@@ -205,6 +231,7 @@ class Dat:
         the access pattern the paper's packing code and GPU transposition
         respectively optimize for.
         """
+        self._sync()
         if self.layout == "soa":
             # (dim, *idx.shape) -> (*idx.shape, dim); .T would *reverse*
             # the axes and silently swap chunk/arity for 2-D indices.
@@ -217,6 +244,7 @@ class Dat:
         ``values`` has shape ``idx.shape + (dim,)``; ``idx`` targets must
         be unique — guaranteed by coloring for indirect arguments.
         """
+        self._sync()
         if self.layout == "soa":
             self._storage[:, idx] = np.moveaxis(values, -1, 0)
         else:
@@ -232,8 +260,9 @@ class Dat:
         ``serialize=False`` is the permute schemes' free scatter: one
         fused ``+=`` that requires unique targets.
         """
+        self._sync()
         if serialize:
-            np.add.at(self.data, idx, values)
+            np.add.at(self._data, idx, values)
         elif self.layout == "soa":
             self._storage[:, idx] += np.moveaxis(values, -1, 0)
         else:
@@ -248,6 +277,7 @@ class Dat:
         (An SoA-layout Dat still returns a copy so the contract is
         layout-independent.)
         """
+        self._sync()
         if self.layout == "soa":
             return self._storage.copy()
         return np.ascontiguousarray(self._storage.T)
@@ -270,6 +300,7 @@ class Dat:
 
     def zero(self) -> None:
         """In-place reset — cheaper than reallocating (guide: in-place ops)."""
+        self._sync()
         self._storage[...] = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

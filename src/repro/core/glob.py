@@ -34,21 +34,49 @@ class Global:
         self.dim = int(dim)
         self.name = name if name is not None else f"gbl_{next(_gbl_counter)}"
         self._uid = next(_gbl_counter)
-        self.data = np.zeros(dim, dtype=dtype)
-        self.data[...] = value
+        self._data = np.zeros(dim, dtype=dtype)
+        self._data[...] = value
+        #: Pending :class:`~repro.core.chain.LoopChain` touching this
+        #: global; host access through :attr:`value` or :attr:`data`
+        #: flushes it first (mirrors the :class:`~repro.core.dat.Dat`
+        #: read barrier).
+        self._barrier = None
+
+    def _sync(self) -> None:
+        barrier = self._barrier
+        if barrier is not None:
+            barrier.flush()
+
+    @property
+    def data(self) -> np.ndarray:
+        """The ``(dim,)`` value array.
+
+        Reading it while a loop chain has pending loops touching this
+        global flushes the chain first, so host code can never observe
+        a stale reduction value through either accessor.
+        """
+        self._sync()
+        return self._data
 
     @property
     def dtype(self) -> np.dtype:
-        return self.data.dtype
+        return self._data.dtype
 
     @property
     def value(self):
-        """Scalar convenience accessor for dim-1 globals."""
-        return self.data[0] if self.dim == 1 else self.data.copy()
+        """Scalar convenience accessor for dim-1 globals.
+
+        Reading *or writing* it flushes any pending loop chain first: a
+        pending reduction must land before a read, and a pending reader
+        must observe the pre-write value — exactly eager ordering.
+        """
+        self._sync()
+        return self._data[0] if self.dim == 1 else self._data.copy()
 
     @value.setter
     def value(self, v) -> None:
-        self.data[...] = v
+        self._sync()
+        self._data[...] = v
 
     def identity_for(self, access: Access) -> np.ndarray:
         """Reduction identity element for a given access mode."""
@@ -61,14 +89,18 @@ class Global:
         raise ValueError(f"No reduction identity for access {access}")
 
     def combine(self, access: Access, partial: np.ndarray) -> None:
-        """Fold a partial reduction result into the global value."""
+        """Fold a partial reduction result into the global value.
+
+        Backend-side: folds run after barriers are disarmed, so this
+        writes the raw storage directly.
+        """
         partial = np.asarray(partial, dtype=self.dtype).reshape(self.dim)
         if access is Access.INC:
-            self.data += partial
+            self._data += partial
         elif access is Access.MIN:
-            np.minimum(self.data, partial, out=self.data)
+            np.minimum(self._data, partial, out=self._data)
         elif access is Access.MAX:
-            np.maximum(self.data, partial, out=self.data)
+            np.maximum(self._data, partial, out=self._data)
         else:
             raise ValueError(f"Cannot combine with access {access}")
 

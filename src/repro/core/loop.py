@@ -71,8 +71,25 @@ def par_loop(
         Skip a prefix (the MPI substrate's core/boundary overlap split).
     plan:
         Pre-built plan override (used by ablation benchmarks).
+
+    Deferred execution
+    ------------------
+    When the runtime has an active :class:`~repro.core.chain.LoopChain`
+    (``with runtime.chain():``), the call *records* instead of
+    executing.  Both validation and execution then happen at the
+    chain's flush point (block exit, or the first host read of a
+    touched Dat/Global) — validation once per distinct trace signature,
+    so a malformed loop raises at its trace's first flush rather than
+    at this call site.  Results are bitwise identical either way.
     """
     rt = runtime if runtime is not None else default_runtime()
+    ch = rt._active_chain
+    if ch is not None:
+        ch.record(
+            kernel, set_, args,
+            n_elements=n_elements, start_element=start_element, plan=plan,
+        )
+        return
     validate_loop(kernel, set_, args)
     if plan is None:
         # Two-level lookup: call-site loop cache, then structural plan

@@ -44,6 +44,7 @@ and its cache levels end to end.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -361,13 +362,31 @@ def build_plan(
     return plan
 
 
-class PlanCache:
-    """Memoizes plans by loop structure (OP2 keeps an identical cache)."""
+#: Default LRU bound for :class:`PlanCache` (plans are mesh-sized, so a
+#: long-running process must not accumulate them without limit).
+DEFAULT_PLAN_CACHE_ENTRIES = 256
 
-    def __init__(self) -> None:
-        self._plans: Dict[Tuple, Plan] = {}
+
+class PlanCache:
+    """Memoizes plans by loop structure (OP2 keeps an identical cache).
+
+    The cache is LRU-bounded: with more than ``max_entries`` distinct
+    loop structures the least-recently-used plan is dropped (and
+    rebuilt on next use).  ``max_entries=None`` disables eviction.
+    ``hits`` / ``misses`` / ``evictions`` counters feed
+    :meth:`repro.core.runtime.Runtime.stats`.
+    """
+
+    def __init__(
+        self, max_entries: Optional[int] = DEFAULT_PLAN_CACHE_ENTRIES
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self._plans: OrderedDict[Tuple, Plan] = OrderedDict()
+        self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def get(
         self,
@@ -381,16 +400,22 @@ class PlanCache:
         plan = self._plans.get(key)
         if plan is not None:
             self.hits += 1
+            self._plans.move_to_end(key)
             return plan
         self.misses += 1
         plan = build_plan(set_, args, block_size, scheme, coloring_method)
         self._plans[key] = plan
+        if self.max_entries is not None:
+            while len(self._plans) > self.max_entries:
+                self._plans.popitem(last=False)
+                self.evictions += 1
         return plan
 
     def clear(self) -> None:
         self._plans.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._plans)

@@ -6,20 +6,29 @@ backend chosen at build/run time; here the same separation is a runtime
 case (serial experimentation) zero-ceremony, while benchmarks construct
 isolated runtimes per configuration.
 
-Two cache levels keep steady-state ``par_loop`` calls cheap:
+Three cache levels keep steady-state execution cheap:
 
 1. the structural :class:`~repro.core.plan.PlanCache` (coloring reused by
-   every loop with the same racing access structure), and
+   every loop with the same racing access structure),
 2. a **loop cache** keyed by ``(kernel, set, args signature)`` — the
    exact call site — that skips even the signature normalization and
    returns the memoized plan directly.  Because plans memoize their
    whole-color phases and gather index arrays
    (:meth:`~repro.core.plan.Plan.phases`), a cache hit here means a
-   repeated invocation rebuilds *no* index arrays at all.
+   repeated invocation rebuilds *no* index arrays at all; and
+3. a **chain cache** keyed by the structural signature of a whole
+   recorded loop sequence (:mod:`repro.core.chain`): a steady-state
+   time step traced with ``with runtime.chain():`` replays a
+   pre-analyzed, pre-fused schedule with zero re-analysis.
+
+All three are LRU-bounded (configurable ``*_entries`` knobs) so
+long-running processes cannot grow them without bound;
+:meth:`Runtime.stats` exposes the hit/miss/eviction counters.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, Optional, Sequence, Tuple
 
 from ..backends.autovec import AutoVecBackend
@@ -29,11 +38,23 @@ from ..backends.sequential import SequentialBackend
 from ..backends.simt import SIMTBackend
 from ..backends.vectorized import VectorizedBackend
 from .access import Arg
+from .chain import CompiledChain, LoopChain, LoopSpec, compile_chain
 from .codegen import CodegenBackend
 from .dat import _check_layout
 from .kernel import Kernel
-from .plan import DEFAULT_BLOCK_SIZE, Plan, PlanCache
+from .plan import (
+    DEFAULT_BLOCK_SIZE,
+    DEFAULT_PLAN_CACHE_ENTRIES,
+    Plan,
+    PlanCache,
+)
 from .set import Set
+
+#: Default LRU bound for the call-site loop cache.
+DEFAULT_LOOP_CACHE_ENTRIES = 1024
+
+#: Default LRU bound for the compiled-chain cache.
+DEFAULT_CHAIN_CACHE_ENTRIES = 64
 
 
 def loop_signature(kernel: Kernel, set_: Set, args: Sequence[Arg]) -> Tuple:
@@ -101,6 +122,8 @@ class Runtime:
         Default :class:`~repro.core.dat.Dat` storage layout (``"aos"`` or
         ``"soa"``) the application drivers apply when allocating state;
         ``None`` leaves the process default untouched.
+    plan_cache_entries / loop_cache_entries / chain_cache_entries:
+        LRU bounds for the three cache levels (``None`` = unbounded).
     """
 
     def __init__(
@@ -110,6 +133,9 @@ class Runtime:
         scheme: str = "two_level",
         coloring_method: str = "auto",
         layout: Optional[str] = None,
+        plan_cache_entries: Optional[int] = DEFAULT_PLAN_CACHE_ENTRIES,
+        loop_cache_entries: Optional[int] = DEFAULT_LOOP_CACHE_ENTRIES,
+        chain_cache_entries: Optional[int] = DEFAULT_CHAIN_CACHE_ENTRIES,
     ) -> None:
         self.backend = (
             backend if isinstance(backend, Backend) else make_backend(backend)
@@ -118,10 +144,20 @@ class Runtime:
         self.scheme = scheme
         self.coloring_method = coloring_method
         self.layout = _check_layout(layout) if layout is not None else None
-        self.plans = PlanCache()
-        self._loop_plans: Dict[Tuple, Plan] = {}
+        self.plans = PlanCache(max_entries=plan_cache_entries)
+        self.loop_cache_entries = loop_cache_entries
+        self.chain_cache_entries = chain_cache_entries
+        self._loop_plans: OrderedDict[Tuple, Plan] = OrderedDict()
         self.loop_cache_hits = 0
         self.loop_cache_misses = 0
+        self.loop_cache_evictions = 0
+        self._chains: OrderedDict[Tuple, CompiledChain] = OrderedDict()
+        self.chain_cache_hits = 0
+        self.chain_cache_misses = 0
+        self.chain_cache_evictions = 0
+        #: The LoopChain currently recording par_loop calls (``with
+        #: runtime.chain():`` sets and clears this), or ``None``.
+        self._active_chain: Optional[LoopChain] = None
 
     # ------------------------------------------------------------------
     def plan_for(self, kernel: Kernel, set_: Set, args: Sequence[Arg]) -> Plan:
@@ -136,20 +172,66 @@ class Runtime:
         plan = self._loop_plans.get(key)
         if plan is not None:
             self.loop_cache_hits += 1
+            self._loop_plans.move_to_end(key)
             return plan
         self.loop_cache_misses += 1
         plan = self.plans.get(
             set_, args, self.block_size, self.scheme, self.coloring_method
         )
         self._loop_plans[key] = plan
+        if self.loop_cache_entries is not None:
+            while len(self._loop_plans) > self.loop_cache_entries:
+                self._loop_plans.popitem(last=False)
+                self.loop_cache_evictions += 1
         return plan
 
+    # ------------------------------------------------------------------
+    # Deferred execution (see core/chain.py).
+    # ------------------------------------------------------------------
+    def chain(self) -> LoopChain:
+        """A fresh deferred-execution trace bound to this runtime.
+
+        Use as a context manager: ``with runtime.chain() as ch:`` —
+        ``par_loop`` calls against this runtime record instead of
+        executing until the block exits (or a traced Dat/Global is read).
+        """
+        return LoopChain(self)
+
+    def compiled_chain_for(self, specs: Sequence[LoopSpec]) -> CompiledChain:
+        """Compiled schedule for a trace, through the chain cache.
+
+        The cache key is the tuple of per-loop structural signatures
+        (kernel, set, per-arg dat/map/slot/access identities, range), so
+        a steady-state time step that re-records the same loop sequence
+        replays its memoized schedule — no dependency analysis, fusion
+        or plan lookup at all.
+        """
+        key = tuple(spec.key() for spec in specs)
+        compiled = self._chains.get(key)
+        if compiled is not None:
+            self.chain_cache_hits += 1
+            self._chains.move_to_end(key)
+            return compiled
+        self.chain_cache_misses += 1
+        compiled = compile_chain(specs, self)
+        self._chains[key] = compiled
+        if self.chain_cache_entries is not None:
+            while len(self._chains) > self.chain_cache_entries:
+                self._chains.popitem(last=False)
+                self.chain_cache_evictions += 1
+        return compiled
+
     def clear_caches(self) -> None:
-        """Drop both cache levels (cold-start; used by the cache ablation)."""
+        """Drop all cache levels (cold-start; used by the cache ablation)."""
         self.plans.clear()
         self._loop_plans.clear()
         self.loop_cache_hits = 0
         self.loop_cache_misses = 0
+        self.loop_cache_evictions = 0
+        self._chains.clear()
+        self.chain_cache_hits = 0
+        self.chain_cache_misses = 0
+        self.chain_cache_evictions = 0
 
     def cache_stats(self) -> Dict[str, int]:
         """Counters for the caching ablation tables."""
@@ -159,6 +241,40 @@ class Runtime:
             "plan_hits": self.plans.hits,
             "plan_misses": self.plans.misses,
             "plans": len(self.plans),
+        }
+
+    def stats(self) -> Dict[str, object]:
+        """All runtime counters: the three cache levels plus backend
+        per-kernel timings.
+
+        Cache counters cover hits, misses, evictions and current sizes
+        of the loop cache, the structural plan cache and the compiled
+        chain cache — the observability surface for long-running
+        processes (are my caches sized right? is steady state hitting?).
+        """
+        return {
+            "loop_cache": {
+                "hits": self.loop_cache_hits,
+                "misses": self.loop_cache_misses,
+                "evictions": self.loop_cache_evictions,
+                "entries": len(self._loop_plans),
+                "max_entries": self.loop_cache_entries,
+            },
+            "plan_cache": {
+                "hits": self.plans.hits,
+                "misses": self.plans.misses,
+                "evictions": self.plans.evictions,
+                "entries": len(self.plans),
+                "max_entries": self.plans.max_entries,
+            },
+            "chain_cache": {
+                "hits": self.chain_cache_hits,
+                "misses": self.chain_cache_misses,
+                "evictions": self.chain_cache_evictions,
+                "entries": len(self._chains),
+                "max_entries": self.chain_cache_entries,
+            },
+            "kernels": dict(self.backend.stats),
         }
 
     # ------------------------------------------------------------------
@@ -178,21 +294,20 @@ class Runtime:
         if block_size is not None and block_size != self.block_size:
             self.block_size = int(block_size)
             self._loop_plans.clear()
+            self._chains.clear()
         if scheme is not None:
             if scheme != self.scheme:
                 self._loop_plans.clear()
+                self._chains.clear()
             self.scheme = scheme
         if coloring_method is not None:
             self.coloring_method = coloring_method
             self.plans.clear()
             self._loop_plans.clear()
+            self._chains.clear()
         if layout is not None:
             self.layout = _check_layout(layout)
         return self
-
-    @property
-    def stats(self) -> Dict[str, object]:
-        return self.backend.stats
 
     def reset_stats(self) -> None:
         self.backend.reset_stats()

@@ -7,16 +7,25 @@ accounting.
 """
 
 from .comm import CommStats, SimComm
-from .decomposition import DistContext
-from .halo import ExchangeList, HaloPlan, SetRegions, build_exchanges, build_regions
+from .decomposition import DistContext, DistLoopChain
+from .halo import (
+    ExchangeList,
+    HaloPlan,
+    SetRegions,
+    build_exchanges,
+    build_regions,
+    coalesce_exchange_bytes,
+)
 
 __all__ = [
     "CommStats",
     "DistContext",
+    "DistLoopChain",
     "ExchangeList",
     "HaloPlan",
     "SetRegions",
     "SimComm",
     "build_exchanges",
     "build_regions",
+    "coalesce_exchange_bytes",
 ]

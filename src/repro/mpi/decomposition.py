@@ -22,11 +22,12 @@ the central property test of :mod:`tests.test_mpi`.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.access import Arg
+from ..core.chain import LoopSpec, analyze_dependencies
 from ..core.dat import Dat
 from ..core.glob import Global
 from ..core.kernel import Kernel
@@ -41,6 +42,7 @@ from .halo import (
     SetRegions,
     build_exchanges,
     build_regions,
+    coalesce_exchange_bytes,
 )
 
 
@@ -75,6 +77,8 @@ class DistContext:
         self._maps: List[Map] = []
         self._dats: List[Dat] = []
         self._finalized = False
+        self._active_chain: Optional[DistLoopChain] = None
+        self._analyses: Dict[Tuple, object] = {}
 
         # Populated by finalize():
         self.halo_plans: Dict[Set, HaloPlan] = {}
@@ -262,19 +266,36 @@ class DistContext:
     # ------------------------------------------------------------------
     def ensure_fresh(self, d: Dat) -> None:
         """Refresh halo copies of ``d`` from their owners if stale."""
-        if self._halo_fresh[d]:
-            return
-        plan = self.halo_plans[d.set]
-        locals_ = self.local_dats[d]
-        itembytes = d.dim * d.itemsize
-        for ex in plan.exchanges:
-            locals_[ex.dst_rank].data[ex.dst_local] = (
-                locals_[ex.src_rank].data[ex.src_local]
-            )
-            self.comm.record_message(
-                ex.src_rank, ex.dst_rank, ex.count * itembytes
-            )
-        self._halo_fresh[d] = True
+        self.ensure_fresh_batch((d,))
+
+    def ensure_fresh_batch(self, dats: Iterable[Dat]) -> None:
+        """One *batched* halo update covering several dats.
+
+        All stale dats' halo copies refresh together, and the message
+        accounting coalesces payloads by rank pair: one message per
+        ``(src, dst)`` neighbour pair for the whole batch, however many
+        dats it covers.  This is the loop-chain substrate's
+        communication batching — a dependency frontier's worth of
+        exchanges collapses into a single neighbourhood update (for a
+        single dat it degenerates to the classic per-dat exchange, so
+        eager loops use this same path).
+        """
+        batches: List[Tuple[Sequence[ExchangeList], int]] = []
+        for d in dats:
+            if self._halo_fresh[d]:
+                continue
+            plan = self.halo_plans[d.set]
+            locals_ = self.local_dats[d]
+            for ex in plan.exchanges:
+                locals_[ex.dst_rank].data[ex.dst_local] = (
+                    locals_[ex.src_rank].data[ex.src_local]
+                )
+            batches.append((plan.exchanges, d.dim * d.itemsize))
+            self._halo_fresh[d] = True
+        for (src, dst), nbytes in sorted(
+            coalesce_exchange_bytes(batches).items()
+        ):
+            self.comm.record_message(src, dst, nbytes)
 
     # ------------------------------------------------------------------
     # Parallel loop over the distributed problem
@@ -295,27 +316,18 @@ class DistContext:
         the boundary/halo tail waits (``op_mpi_wait_all``).  Results are
         identical either way; the split is what makes latency hiding
         possible on real networks.
+
+        Inside a ``with ctx.chain():`` block the call records instead
+        of executing — see :meth:`chain`.
         """
         if not self._finalized:
             raise RuntimeError("finalize() must run before par_loop")
+        if self._active_chain is not None:
+            self._active_chain.record(kernel, set_, args)
+            return
+        self._check_loop(args)
         needs_exec = any(arg.races for arg in args)
-        has_reduction = any(
-            arg.is_global and arg.access.is_reduction for arg in args
-        )
-        if needs_exec and has_reduction:
-            raise NotImplementedError(
-                "Loops combining indirect writes with global reductions "
-                "would double-count redundantly executed halo elements "
-                "(neither Airfoil nor Volna needs this; OP2 splits such "
-                "loops)"
-            )
-
-        needs_halo = [
-            arg for arg in args
-            if not arg.is_global
-            and arg.access.reads
-            and (arg.is_indirect or needs_exec)
-        ]
+        needs_halo = self._halo_read_dats(args, needs_exec)
         uses_indirection = any(arg.is_indirect for arg in args)
 
         if overlap and uses_indirection:
@@ -329,8 +341,7 @@ class DistContext:
                     kernel, ls, *local_args, runtime=self.runtime,
                     n_elements=ls.core_size,
                 )
-            for arg in needs_halo:
-                self.ensure_fresh(arg.dat)
+            self.ensure_fresh_batch(needs_halo)
             for r in range(self.nranks):
                 local_args = tuple(self._localize(arg, r) for arg in args)
                 ls = self.local_sets[set_][r]
@@ -340,27 +351,75 @@ class DistContext:
                     n_elements=n, start_element=ls.core_size,
                 )
         else:
-            for arg in needs_halo:
-                self.ensure_fresh(arg.dat)
-            for r in range(self.nranks):
-                local_args = tuple(self._localize(arg, r) for arg in args)
-                ls = self.local_sets[set_][r]
-                n = ls.total_size if needs_exec else ls.size
-                par_loop(
-                    kernel, ls, *local_args, runtime=self.runtime,
-                    n_elements=n,
-                )
+            self.ensure_fresh_batch(needs_halo)
+            self._execute_ranks(kernel, set_, args, needs_exec)
 
-        if has_reduction:
-            for arg in args:
-                if arg.is_global and arg.access.is_reduction:
-                    self.comm.record_allreduce(
-                        arg.dat.dim * arg.dat.data.dtype.itemsize
-                    )
+        self._post_loop(args)
 
+    # -- pieces shared by the eager path and the chained flush ---------
+    def _check_loop(self, args: Sequence[Arg]) -> None:
+        needs_exec = any(arg.races for arg in args)
+        has_reduction = any(
+            arg.is_global and arg.access.is_reduction for arg in args
+        )
+        if needs_exec and has_reduction:
+            raise NotImplementedError(
+                "Loops combining indirect writes with global reductions "
+                "would double-count redundantly executed halo elements "
+                "(neither Airfoil nor Volna needs this; OP2 splits such "
+                "loops)"
+            )
+
+    def _halo_read_dats(
+        self, args: Sequence[Arg], needs_exec: bool
+    ) -> List[Dat]:
+        """Dats whose halo copies a loop reads (must be fresh first)."""
+        return [
+            arg.dat for arg in args
+            if not arg.is_global
+            and arg.access.reads
+            and (arg.is_indirect or needs_exec)
+        ]
+
+    def _execute_ranks(
+        self, kernel: Kernel, set_: Set, args: Sequence[Arg],
+        needs_exec: bool,
+    ) -> None:
+        for r in range(self.nranks):
+            local_args = tuple(self._localize(arg, r) for arg in args)
+            ls = self.local_sets[set_][r]
+            n = ls.total_size if needs_exec else ls.size
+            par_loop(
+                kernel, ls, *local_args, runtime=self.runtime,
+                n_elements=n,
+            )
+
+    def _post_loop(self, args: Sequence[Arg]) -> None:
+        """Reduction accounting and halo dirty-marking after one loop."""
         for arg in args:
-            if not arg.is_global and arg.access.writes:
+            if arg.is_global and arg.access.is_reduction:
+                self.comm.record_allreduce(
+                    arg.dat.dim * arg.dat.data.dtype.itemsize
+                )
+            elif not arg.is_global and arg.access.writes:
                 self._halo_fresh[arg.dat] = False
+
+    # ------------------------------------------------------------------
+    # Deferred execution with frontier-batched halo exchanges
+    # ------------------------------------------------------------------
+    def chain(self) -> "DistLoopChain":
+        """A deferred-execution trace over this distributed context.
+
+        ``ctx.par_loop`` calls inside ``with ctx.chain():`` record; at
+        flush the trace is analyzed (``core/chain.py``'s hazard
+        analysis) and executed frontier by frontier: every stale dat
+        any loop of a dependency frontier reads is refreshed in **one
+        batched halo update** (one message per neighbour rank pair for
+        the whole frontier) instead of one exchange per loop.  Loop
+        execution order is exactly the recorded order, so results are
+        identical to eager ``ctx.par_loop`` calls.
+        """
+        return DistLoopChain(self)
 
     def _localize(self, arg: Arg, r: int) -> Arg:
         if arg.is_global:
@@ -400,3 +459,140 @@ class DistContext:
         )
         mean = sizes.mean()
         return float(sizes.max() / mean - 1.0) if mean else 0.0
+
+    # ------------------------------------------------------------------
+    def analysis_for(self, specs: Sequence[LoopSpec]):
+        """Dependency analysis for a trace, memoized by signature.
+
+        A steady-state distributed time step re-records the same loop
+        sequence; the memo makes its flush re-derive nothing (the
+        distributed sibling of the runtime's chain cache).
+        """
+        key = tuple(spec.key() for spec in specs)
+        analysis = self._analyses.get(key)
+        if analysis is None:
+            analysis = analyze_dependencies(specs)
+            if len(self._analyses) >= 64:  # bounded, FIFO is fine here
+                self._analyses.pop(next(iter(self._analyses)))
+            self._analyses[key] = analysis
+        return analysis
+
+
+class DistLoopChain:
+    """Deferred-execution trace over a :class:`DistContext`.
+
+    Records ``ctx.par_loop`` calls, then flushes them frontier by
+    frontier with batched halo exchanges (see :meth:`DistContext.chain`).
+    Execution preserves the recorded loop order exactly; only the
+    *communication* is hoisted and coalesced, which is safe because a
+    dependency frontier's loops are mutually independent and every
+    writer a frontier reads from sits in an earlier frontier.
+
+    Read barriers are armed on every touched Global and on every
+    per-rank local Dat of every touched global Dat, so host access
+    (``ctx.fetch``, ``Global.value``) mid-trace flushes the pending
+    loops first — the same staleness guarantee the serial
+    :class:`~repro.core.chain.LoopChain` gives.
+
+    The ``overlap`` flag of eager ``par_loop`` is moot here: halos are
+    already fresh when a frontier executes, so there is nothing to
+    overlap with.
+    """
+
+    def __init__(self, ctx: DistContext) -> None:
+        self.ctx = ctx
+        self._specs: List[LoopSpec] = []
+        self._touched: List[object] = []
+        self._flushing = False
+        self.flushes = 0
+
+    # -- recording -----------------------------------------------------
+    def record(self, kernel: Kernel, set_: Set, args: Sequence[Arg]) -> None:
+        self.ctx._check_loop(args)
+        self._specs.append(
+            LoopSpec(
+                kernel=kernel, set=set_, args=tuple(args),
+                n=set_.total_size, start=0,
+            )
+        )
+        for arg in args:
+            if arg.is_global:
+                self._arm(arg.dat)
+            else:
+                for local in self.ctx.local_dats[arg.dat]:
+                    self._arm(local)
+
+    def _arm(self, obj) -> None:
+        barrier = obj._barrier
+        if barrier is not None and barrier is not self:
+            # Another chain (e.g. a serial LoopChain sharing a Global)
+            # holds the slot: flush it — its loops precede ours.
+            barrier.flush()
+            barrier = obj._barrier
+        if barrier is None:
+            obj._barrier = self
+            self._touched.append(obj)
+
+    def _disarm(self) -> None:
+        for obj in self._touched:
+            if obj._barrier is self:
+                obj._barrier = None
+        self._touched = []
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    # -- execution -----------------------------------------------------
+    def flush(self) -> None:
+        if self._flushing or not self._specs:
+            return
+        specs, self._specs = self._specs, []
+        self._disarm()
+        analysis = self.ctx.analysis_for(specs)
+        self._flushing = True
+        try:
+            for frontier in analysis.frontiers:
+                # One batched exchange for everything this frontier
+                # reads; loops of a frontier are mutually independent,
+                # so none of them can invalidate another's halo.
+                stale: List[Dat] = []
+                seen = set()
+                for i in frontier:
+                    spec = specs[i]
+                    needs_exec = any(arg.races for arg in spec.args)
+                    for d in self.ctx._halo_read_dats(spec.args, needs_exec):
+                        if d not in seen:
+                            seen.add(d)
+                            stale.append(d)
+                self.ctx.ensure_fresh_batch(stale)
+                for i in frontier:
+                    spec = specs[i]
+                    needs_exec = any(arg.races for arg in spec.args)
+                    self.ctx._execute_ranks(
+                        spec.kernel, spec.set, spec.args, needs_exec
+                    )
+                    self.ctx._post_loop(spec.args)
+        finally:
+            self._flushing = False
+        self.flushes += 1
+
+    def discard(self) -> None:
+        self._specs = []
+        self._disarm()
+
+    # -- context manager ----------------------------------------------
+    def __enter__(self) -> "DistLoopChain":
+        if self.ctx._active_chain is not None:
+            raise RuntimeError(
+                "a chain is already active on this DistContext; "
+                "chains do not nest"
+            )
+        self.ctx._active_chain = self
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.ctx._active_chain = None
+        if exc_type is not None:
+            self.discard()
+        else:
+            self.flush()

@@ -21,8 +21,9 @@ destination index, grouped by rank pair).
 
 from __future__ import annotations
 
+from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -93,6 +94,26 @@ class HaloPlan:
 
     def total_halo_elements(self) -> int:
         return sum(r.n_exec + r.n_nonexec for r in self.regions)
+
+
+def coalesce_exchange_bytes(
+    batches: Sequence[Tuple[Sequence[ExchangeList], int]],
+) -> Dict[Tuple[int, int], int]:
+    """Merge several dats' exchange lists into per-rank-pair byte totals.
+
+    ``batches`` pairs each dat's exchange lists with its per-element
+    byte size.  The result maps ``(src_rank, dst_rank)`` to the total
+    payload a *batched* halo update moves between that pair — the
+    loop-chain substrate packs every stale dat a dependency frontier
+    needs into **one** message per neighbour pair, instead of one
+    message per dat per loop (the communication-batching half of the
+    loop-chain design; see ``core/chain.py``).
+    """
+    pair_bytes: Dict[Tuple[int, int], int] = defaultdict(int)
+    for exchanges, itembytes in batches:
+        for ex in exchanges:
+            pair_bytes[(ex.src_rank, ex.dst_rank)] += ex.count * itembytes
+    return dict(pair_bytes)
 
 
 def build_regions(

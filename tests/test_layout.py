@@ -257,7 +257,8 @@ class TestWholeColorBatching:
         rt = Runtime("vectorized", block_size=64)
         from repro.mesh import make_airfoil_mesh
 
-        sim = AirfoilSim(make_airfoil_mesh(16, 8), runtime=rt)
+        # Eager mode: every step consults the phase index cache anew.
+        sim = AirfoilSim(make_airfoil_mesh(16, 8), runtime=rt, chained=False)
         sim.step()
         plans = list(rt.plans._plans.values())
         stats_after_one = {
@@ -272,6 +273,25 @@ class TestWholeColorBatching:
                     stats_after_one[id(p)].get("misses", 0)
                 assert p.gather_stats.get("hits", 0) > \
                     stats_after_one[id(p)].get("hits", 0)
+
+    def test_phase_index_cache_not_rebuilt_by_chained_replay(self):
+        # Chained mode binds the gather indices once at replay-program
+        # preparation; subsequent steps must not even *look up* the
+        # index cache, let alone rebuild it.
+        rt = Runtime("vectorized", block_size=64)
+        from repro.mesh import make_airfoil_mesh
+
+        sim = AirfoilSim(make_airfoil_mesh(16, 8), runtime=rt, chained=True)
+        sim.step()
+        plans = list(rt.plans._plans.values())
+        misses_after_one = {
+            id(p): p.gather_stats.get("misses", 0) for p in plans
+        }
+        hits_after_one = {id(p): p.gather_stats.get("hits", 0) for p in plans}
+        sim.run(2)
+        for p in plans:
+            assert p.gather_stats.get("misses", 0) == misses_after_one[id(p)]
+            assert p.gather_stats.get("hits", 0) == hits_after_one[id(p)]
 
 
 @kernel("flux_inc_single", flops=1)
