@@ -73,6 +73,11 @@ class AirfoilSim:
     chained:
         ``True`` (default) traces each time step as a deferred loop
         chain; ``False`` dispatches every ``par_loop`` eagerly.
+    tiling:
+        Sparse-tiling request forwarded to ``runtime.chain(tiling=...)``
+        (``None`` = fused loop-major execution, ``"auto"`` or a seed
+        tile size = tile-major execution; requires ``chained=True``).
+        Results are bitwise identical in every mode.
     """
 
     def __init__(
@@ -82,12 +87,19 @@ class AirfoilSim:
         runtime: Optional[Runtime] = None,
         constants: AirfoilConstants = DEFAULT_CONSTANTS,
         chained: bool = True,
+        tiling=None,
     ) -> None:
         self.mesh = mesh if mesh is not None else make_airfoil_mesh(48, 24)
         self.dtype = np.dtype(dtype)
         self.runtime = runtime
         self.constants = constants
         self.chained = bool(chained)
+        if tiling is not None and not self.chained:
+            raise ValueError(
+                "tiling requires chained=True (sparse tiling lowers a "
+                "traced loop chain; eager dispatch has no chain to tile)"
+            )
+        self.tiling = tiling
         self.kernels: Dict[str, object] = make_kernels(constants)
         self.state = self._init_state()
         self.rms_history: List[float] = []
@@ -198,7 +210,7 @@ class AirfoilSim:
         schedule from the runtime's chain cache.
         """
         if self.chained:
-            with self._runtime().chain():
+            with self._runtime().chain(tiling=self.tiling):
                 return self._step_body()
         return self._step_body()
 

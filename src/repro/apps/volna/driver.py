@@ -115,6 +115,7 @@ class VolnaSim:
         gravity: float = GRAVITY,
         cfl: float = CFL,
         chained: bool = True,
+        tiling=None,
     ) -> None:
         self.mesh = (
             mesh
@@ -127,6 +128,13 @@ class VolnaSim:
         self.runtime = runtime
         self.scenario = scenario
         self.chained = bool(chained)
+        if tiling is not None and not self.chained:
+            raise ValueError(
+                "tiling requires chained=True (sparse tiling lowers a "
+                "traced loop chain; eager dispatch has no chain to tile)"
+            )
+        #: Sparse-tiling request forwarded to ``runtime.chain(tiling=...)``.
+        self.tiling = tiling
         self.kernels: Dict[str, object] = make_kernels(gravity, cfl)
         self.state = self._init_state()
         self.time = 0.0
@@ -243,7 +251,7 @@ class VolnaSim:
         and loops 4–9 (the RK updates and snapshot).
         """
         if self.chained:
-            with self._runtime().chain():
+            with self._runtime().chain(tiling=self.tiling):
                 return self._step_body()
         return self._step_body()
 

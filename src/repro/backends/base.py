@@ -49,6 +49,7 @@ from ..core.access import Access, Arg
 from ..core.kernel import Kernel
 from ..core.plan import Plan, is_contiguous_range
 from ..core.set import Set
+from ..tiling.schedule import BarrierLoop
 
 
 @dataclass
@@ -128,8 +129,120 @@ class Backend:
                     n_elements=bl.n, start_element=bl.start,
                 )
 
+    # ------------------------------------------------------------------
+    def tiled_profile(self, compiled) -> Optional[str]:
+        """Which eager element order this backend's per-loop execution
+        follows — the order the sparse-tiling inspector may slice.
+
+        ``"ascending"`` (plain ``start..n`` sweeps), ``"phases"`` (the
+        plan's color-phase order) or ``None`` when this backend's
+        execution is not sliceable bitwise-safely (batch-boundary-
+        sensitive machinery like SIMT per-block gathers or finite
+        vector widths with scalar remainder sweeps).  The base class
+        answers ``None``: correctness first — an unknown backend falls
+        back to the fused program.
+        """
+        return None
+
+    def run_tiled(self, compiled) -> None:
+        """Execute a tiled :class:`~repro.core.chain.CompiledChain`.
+
+        Generic executor: walk the schedule's parts in program order —
+        barrier loops through :meth:`execute`, tiled segments
+        tile-by-tile with every slice run element-at-a-time through the
+        scalar kernel in the slice's stored eager order.  Because the
+        schedule slices this backend's own eager element order
+        monotonically and contiguously (see
+        :mod:`repro.tiling.inspector`), the per-loop operation sequence
+        is exactly the eager one and results are bitwise identical.
+
+        Backends whose :meth:`tiled_profile` answers ``None`` fall back
+        to :meth:`run_chain` (untiled, trivially identical).  The
+        batched backends override this with prepared per-tile replay
+        programs.
+        """
+        profile = (
+            self.tiled_profile(compiled) if compiled.tiled is not None
+            else None
+        )
+        schedule = (
+            compiled.tiled_for(profile) if profile is not None else None
+        )
+        if schedule is None:
+            self.run_chain(compiled)
+            return
+        loops = compiled.loops
+        for part in schedule.parts:
+            if isinstance(part, BarrierLoop):
+                bl = loops[part.loop_index]
+                self.execute(
+                    bl.kernel, bl.set, bl.args, bl.plan,
+                    n_elements=bl.n, start_element=bl.start,
+                )
+                continue
+            seg_loops = [loops[k] for k in part.loop_indices]
+            for bl in seg_loops:
+                for arg in bl.args:
+                    arg.dat._sync()
+            reductions = [_init_reductions(bl.args) for bl in seg_loops]
+            elapsed = [0.0] * len(seg_loops)
+            for t in range(part.n_tiles):
+                for j, bl in enumerate(seg_loops):
+                    elems = part.slices[j].tile_elems(t)
+                    if not elems.size:
+                        continue
+                    scalar = bl.kernel.scalar
+                    t0 = time.perf_counter()
+                    for e in elems:
+                        run_scalar_element(
+                            scalar, bl.args, int(e), reductions[j]
+                        )
+                    elapsed[j] += time.perf_counter() - t0
+            for j, bl in enumerate(seg_loops):
+                _fold_reductions(bl.args, reductions[j])
+                self.stats.setdefault(
+                    bl.kernel.name, LoopStats()
+                ).record(elapsed[j], bl.n - bl.start)
+
     def reset_stats(self) -> None:
         self.stats.clear()
+
+
+# ----------------------------------------------------------------------
+# The element-major serialized-increment merge rule.
+# ----------------------------------------------------------------------
+def serialized_inc_group_key(arg: Arg) -> Optional[int]:
+    """Grouping key for the element-major joint INC application.
+
+    THE single definition of which arguments merge: single-slot
+    *indirect* INC arguments, grouped per target Dat, and only under a
+    serialized scatter.  Both the eager :func:`scatter_batch` and the
+    prepared-replay :class:`~repro.backends.vectorized._PhaseExec` must
+    use this rule — the sparse-tiling bitwise-identity guarantee rests
+    on the two paths performing operation-for-operation identical
+    scatters.  Returns the Dat uid, or ``None`` when the argument never
+    participates.
+    """
+    if arg.access is Access.INC and arg.is_indirect and not arg.is_vector:
+        return arg.dat._uid
+    return None
+
+
+def interleave_inc_group(parts) -> np.ndarray:
+    """Stack a merge group's per-argument arrays element-major.
+
+    ``parts`` holds one array per grouped argument — either ``(n,)``
+    index arrays or ``(n, dim)`` value arrays — and the result
+    interleaves them ``e0.arg_a, e0.arg_b, e1.arg_a, ...``: the order
+    the scalar kernel body applies the increments.  THE single
+    definition of the interleave, used by every merge site (eager
+    :func:`scatter_batch` and the prepared-replay ``_PhaseExec``) so
+    the two paths can never disagree on operation order.
+    """
+    stacked = np.stack(parts, axis=1)
+    if stacked.ndim == 2:
+        return stacked.reshape(-1)
+    return stacked.reshape(-1, stacked.shape[-1])
 
 
 # ----------------------------------------------------------------------
@@ -309,7 +422,30 @@ def scatter_batch(
     Scatters route through :meth:`~repro.core.dat.Dat.scatter` /
     :meth:`~repro.core.dat.Dat.scatter_add` so both layouts write their
     physical storage along the contiguous axis.
+
+    The element-major invariant
+    ---------------------------
+    Serialized increments are applied **element-major**: when several
+    single-slot INC arguments target the same Dat (Airfoil's
+    ``res_calc`` incrementing ``p_res`` through both edge slots), their
+    lanes are interleaved per element — ``e0.arg_a, e0.arg_b, e1.arg_a,
+    ...`` — in one joint ``np.add.at``, exactly the order the scalar
+    kernel body applies them.  (Vector INC arguments already flatten
+    element-major on their own.)  This makes the order of every
+    order-sensitive floating-point operation a pure function of the
+    *element sequence*, independent of batch boundaries — the property
+    that lets the sparse-tiling executor (:mod:`repro.tiling`) re-slice
+    a loop's element sequence into tiles with bitwise-identical
+    results.
     """
+    joint: Dict[int, list] = {}
+    if serialize_inc:
+        for i, idx in batch.writebacks:
+            key = serialized_inc_group_key(args[i])
+            if key is not None:
+                joint.setdefault(key, []).append((i, idx))
+        joint = {k: v for k, v in joint.items() if len(v) > 1}
+    applied = set()
     for i, idx in batch.writebacks:
         arg = args[i]
         local = batch.arrays[i]
@@ -322,6 +458,21 @@ def scatter_batch(
                     idx.reshape(-1), local.reshape(-1, arg.dat.dim),
                     serialize=True,
                 )
+                continue
+            group = (
+                joint.get(serialized_inc_group_key(arg))
+                if serialize_inc else None
+            )
+            if group is not None:
+                if i in applied:
+                    continue
+                # Joint element-major application (see docstring).
+                gidx = interleave_inc_group([g[1] for g in group])
+                gloc = interleave_inc_group(
+                    [batch.arrays[g[0]] for g in group]
+                )
+                arg.dat.scatter_add(gidx, gloc, serialize=True)
+                applied.update(g[0] for g in group)
             else:
                 arg.dat.scatter_add(idx, local, serialize=serialize_inc)
         else:

@@ -41,14 +41,17 @@ import time
 import numpy as np
 
 from ..core.access import Access
+from ..tiling.schedule import BarrierLoop
 from .base import (
     Backend,
     LoopStats,
     _fold_reductions,
     _init_reductions,
     gather_batch,
+    interleave_inc_group,
     run_scalar_element,
     scatter_batch,
+    serialized_inc_group_key,
 )
 
 #: Batch strategies: one fused call per conflict-free color vs the
@@ -135,6 +138,44 @@ class _PhaseExec:
                     self.gathers.append((i, True, dat, idx))
                     if arg.access.writes:
                         self._add_writeback(arg, dat, idx, i, serialize)
+        self._merge_serialized_incs()
+
+    def _merge_serialized_incs(self) -> None:
+        """Fuse same-Dat serialized single-slot INC writebacks into one
+        element-major joint application.
+
+        Same merge rule and interleave as the eager
+        :func:`~repro.backends.base.scatter_batch`
+        (:func:`~repro.backends.base.serialized_inc_group_key` /
+        :func:`~repro.backends.base.interleave_inc_group`): several INC
+        arguments targeting one Dat (res_calc's two ``p_res`` slots)
+        interleave per element — the scalar kernel body's order — so
+        the operation sequence depends only on the element sequence and
+        sub-phase slicing (sparse tiling) cannot perturb it.
+        """
+        groups: dict = {}
+        for wb in self.writebacks:
+            kind, dat, _idx, _pos, ser = wb
+            if kind == "inc" and ser:
+                groups.setdefault(dat._uid, []).append(wb)
+        groups = {k: v for k, v in groups.items() if len(v) > 1}
+        if not groups:
+            return
+        merged, emitted = [], set()
+        for wb in self.writebacks:
+            kind, dat, idx, pos, ser = wb
+            group = groups.get(dat._uid) if kind == "inc" and ser else None
+            if group is None:
+                merged.append(wb)
+                continue
+            if dat._uid in emitted:
+                continue
+            emitted.add(dat._uid)
+            gidx = interleave_inc_group([w[2] for w in group])
+            merged.append(
+                ("incj", dat, gidx, tuple(w[3] for w in group), True)
+            )
+        self.writebacks = merged
 
     def _add_writeback(self, arg, dat, idx, pos, serialize) -> None:
         if arg.access is Access.INC:
@@ -145,7 +186,15 @@ class _PhaseExec:
                 self.writebacks.append(("incv", dat, idx.reshape(-1), pos,
                                         True))
             else:
-                self.writebacks.append(("inc", dat, idx, pos, serialize))
+                # "inc" entries are merge candidates; "incd" (direct)
+                # never merges — the shared rule of
+                # base.serialized_inc_group_key.
+                kind = (
+                    "inc"
+                    if serialized_inc_group_key(arg) is not None
+                    else "incd"
+                )
+                self.writebacks.append((kind, dat, idx, pos, serialize))
         else:
             self.writebacks.append(("scatter", dat, idx, pos, None))
 
@@ -157,8 +206,13 @@ class _PhaseExec:
             arrays[pos] = dat.gather(idx) if mapped else dat._data[idx]
         self.kernel_vec(*arrays)
         for kind, dat, idx, pos, ser in self.writebacks:
+            if kind == "incj":
+                # Same interleave as the prestacked index half.
+                local = interleave_inc_group([arrays[p] for p in pos])
+                dat.scatter_add(idx, local, serialize=True)
+                continue
             local = arrays[pos]
-            if kind == "inc":
+            if kind in ("inc", "incd"):
                 dat.scatter_add(idx, local, serialize=ser)
             elif kind == "incv":
                 dat.scatter_add(idx, local.reshape(-1, dat.dim),
@@ -363,6 +417,110 @@ class VectorizedBackend(Backend):
                 )
 
         return run_group
+
+    # ------------------------------------------------------------------
+    # Sparse-tiled execution: precompiled per-tile replay programs.
+    # ------------------------------------------------------------------
+    def run_tiled(self, compiled) -> None:
+        """Execute a tiled chain through prepared per-tile programs.
+
+        The analogue of :meth:`run_chain`'s prepared replay, transposed
+        tile-major: on first sight every segment is compiled into, per
+        tile, the list of :class:`_PhaseExec` programs for each loop's
+        sub-phases (:meth:`repro.core.plan.Plan.phase_slices`) — direct
+        contiguous slices stay zero-copy views, gather indices are
+        cached per sub-phase, increment buffers preallocated.  Replay
+        then walks tiles in ascending order running only the numpy
+        calls; each loop's sub-phases concatenate to its eager phase
+        sequence, so results are bitwise identical to eager execution
+        while consecutive loops reuse the tile's cache-resident data.
+
+        Falls back to the fused :meth:`run_chain` program whenever any
+        sliced loop cannot take the batched fast path (chunked mode,
+        scalar-only kernels, WRITE/RW races under ``two_level``) —
+        correctness is never traded for tiling.
+        """
+        if compiled.tiled is None or not self._tiled_batchable(compiled):
+            self.run_chain(compiled)
+            return
+        program = compiled.exec_cache.get((self, "tiled"))
+        if program is None:
+            program = self._prepare_tiled(compiled)
+            compiled.exec_cache[(self, "tiled")] = program
+        for run_part in program:
+            run_part()
+
+    def _tiled_batchable(self, compiled) -> bool:
+        """Whether every sliced loop can take the batched fast path."""
+        if self.batch != "color":
+            return False
+        for part in compiled.tiled.parts:
+            if isinstance(part, BarrierLoop):  # barrier loops run eagerly
+                continue
+            for k in part.loop_indices:
+                bl = compiled.loops[k]
+                if not bl.kernel.has_vector_form:
+                    return False
+                plan = bl.plan
+                if (
+                    not plan.is_direct
+                    and plan.scheme == "two_level"
+                    and any(
+                        arg.races and arg.access is not Access.INC
+                        for arg in bl.args
+                    )
+                ):
+                    return False
+        return True
+
+    def _prepare_tiled(self, compiled):
+        """Compile the tiled schedule into zero-re-analysis closures."""
+        loops = compiled.loops
+        program = []
+        for part in compiled.tiled.parts:
+            if isinstance(part, BarrierLoop):
+                bl = loops[part.loop_index]
+
+                def run_barrier(bl=bl) -> None:
+                    self.execute(
+                        bl.kernel, bl.set, bl.args, bl.plan,
+                        n_elements=bl.n, start_element=bl.start,
+                    )
+
+                program.append(run_barrier)
+                continue
+
+            seg_loops = [loops[k] for k in part.loop_indices]
+            # tiles[t]: [(loop position, prepared sub-phase exec), ...]
+            tiles = []
+            for t in range(part.n_tiles):
+                execs = []
+                for j, bl in enumerate(seg_loops):
+                    cuts = part.slices[j].cuts
+                    lo, hi = int(cuts[t]), int(cuts[t + 1])
+                    if lo == hi:
+                        continue
+                    for sub in bl.plan.phase_slices(bl.n, bl.start, lo, hi):
+                        execs.append((j, _PhaseExec(bl, sub)))
+                tiles.append(execs)
+            stats = self.stats
+
+            def run_segment(seg_loops=seg_loops, tiles=tiles) -> None:
+                reductions = [_init_reductions(bl.args) for bl in seg_loops]
+                elapsed = [0.0] * len(seg_loops)
+                for execs in tiles:
+                    for j, pe in execs:
+                        t0 = time.perf_counter()
+                        pe.run(reductions[j])
+                        elapsed[j] += time.perf_counter() - t0
+                for j, bl in enumerate(seg_loops):
+                    _fold_reductions(bl.args, reductions[j])
+                    stats.setdefault(bl.kernel.name, LoopStats()).record(
+                        elapsed[j], bl.n - bl.start
+                    )
+
+            program.append(run_segment)
+        return program
 
     # ------------------------------------------------------------------
     # Chunked (hardware-faithful) path.

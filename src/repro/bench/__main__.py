@@ -21,6 +21,7 @@ from .measured import (
     batch_ablation,
     loop_chain_ablation,
     measured_speedups,
+    tiling_ablation,
 )
 from .tables import ALL_TABLES
 
@@ -71,6 +72,18 @@ def main(argv=None) -> int:
         chain_t = loop_chain_ablation(mesh=make_airfoil_mesh(24, 12), steps=5)
         print(chain_t.render())
         print(f"[saved {chain_t.save('ablation_loop_chain', args.outdir)}]\n")
+        from ..mesh import make_tri_mesh
+
+        tiling_t = tiling_ablation(
+            steps=3, tile_sizes=("auto", 512),
+            meshes={
+                ("airfoil", "48x24"): make_airfoil_mesh(48, 24),
+                ("volna", "40x30"): make_tri_mesh(40, 30, 100_000.0,
+                                                  75_000.0),
+            },
+        )
+        print(tiling_t.render())
+        print(f"[saved {tiling_t.save('ablation_tiling', args.outdir)}]\n")
         print(f"Results under {args.outdir or RESULTS_DIR}/")
         return 0
 
@@ -96,10 +109,14 @@ def main(argv=None) -> int:
             table = gen()
             print(table.render())
             table.save(f"BENCH_{name}", args.outdir)
-        # The loop-chain ablation keeps its acceptance-artifact name.
+        # The loop-chain and tiling ablations keep their
+        # acceptance-artifact names.
         table = loop_chain_ablation()
         print(table.render())
         table.save("ablation_loop_chain", args.outdir)
+        table = tiling_ablation()
+        print(table.render())
+        table.save("ablation_tiling", args.outdir)
 
     print(f"Results under {args.outdir or RESULTS_DIR}/")
     return 0

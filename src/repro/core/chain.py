@@ -312,29 +312,90 @@ class FusedGroup:
 
 @dataclass(frozen=True)
 class CompiledChain:
-    """A pre-analyzed, pre-fused schedule for one trace signature."""
+    """A pre-analyzed schedule for one trace signature.
+
+    Carries one or two lowerings of the same trace:
+
+    * the **fused program** (``groups``) — loop-major execution with
+      adjacent compatible loops phase-interleaved; always present;
+    * optionally a **tiled schedule** (``tiled``) — the sparse-tiling
+      inspector's tile-major decomposition (:mod:`repro.tiling`),
+      present when the chain was traced with ``tiling=``.  Backends
+      execute it through :meth:`~repro.backends.base.Backend.run_tiled`
+      (falling back to the fused program when they cannot slice
+      bitwise-safely).
+    """
 
     groups: Tuple[FusedGroup, ...]
     analysis: ChainAnalysis
+    #: The ``tiling=`` request this chain was compiled under
+    #: (``None`` | ``"auto"`` | int) — part of the cache key.
+    tiling: object = None
+    #: Resolved seed tile size (0 when untiled).
+    tile_size: int = 0
+    #: Canonical (``"phases"`` profile) tiled schedule, or ``None``.
+    tiled: object = None
     #: Per-backend prepared executor programs (populated lazily by
     #: backends that specialize replay, e.g. the vectorized backend's
     #: prebound gather/kernel/scatter closures).  Keyed by backend
     #: instance; invalidated with the chain cache itself.
     exec_cache: Dict = field(default_factory=dict, compare=False, repr=False)
+    #: Lazily-built tiled schedules for non-canonical element orders
+    #: (the scalar backends' ``"ascending"`` profile).
+    _tiled_profiles: Dict = field(
+        default_factory=dict, compare=False, repr=False
+    )
 
     @property
     def n_loops(self) -> int:
         return sum(len(g.loops) for g in self.groups)
 
+    @property
+    def loops(self) -> Tuple[BoundLoop, ...]:
+        """The flat plan-resolved loop list, recorded order."""
+        return tuple(bl for g in self.groups for bl in g.loops)
 
-def compile_chain(specs: Sequence[LoopSpec], runtime) -> CompiledChain:
-    """Validate, resolve plans, fuse, and analyze one recorded sequence.
+    def tiled_for(self, profile: str):
+        """The tiled schedule sliced against one eager element order.
+
+        ``"phases"`` returns the canonical schedule built at compile
+        time; other profiles are produced by re-running the inspector
+        against that profile's element order (memoized — the cuts
+        differ per order because bitwise identity requires slicing each
+        backend's *own* eager sequence contiguously).  ``None`` when
+        the chain was not compiled with tiling.
+        """
+        if self.tiled is None:
+            return None
+        if profile == "phases":
+            return self.tiled
+        sched = self._tiled_profiles.get(profile)
+        if sched is None:
+            from ..tiling import build_tiled_schedule
+
+            sched = build_tiled_schedule(
+                self.loops, self.tile_size, profile=profile
+            )
+            self._tiled_profiles[profile] = sched
+        return sched
+
+
+def compile_chain(
+    specs: Sequence[LoopSpec], runtime, tiling=None
+) -> CompiledChain:
+    """Validate, resolve plans, fuse, analyze — and optionally tile.
 
     Validation happens here — once per distinct trace signature —
     rather than per recorded call: a malformed loop raises at the first
     flush of the trace containing it, and a memoized replay (which by
     construction re-records a previously validated sequence) pays no
     validation at all.
+
+    With ``tiling`` (``"auto"`` or a seed tile size) the sparse-tiling
+    inspector additionally lowers the trace into a
+    :class:`~repro.tiling.schedule.TiledSchedule` attached to the
+    result; the runtime's chain cache keys on the tiling request, so
+    tiled and untiled compilations of the same trace coexist.
     """
     from .loop import validate_loop
 
@@ -353,29 +414,46 @@ def compile_chain(specs: Sequence[LoopSpec], runtime) -> CompiledChain:
         else runtime.plan_for(spec.kernel, spec.set, spec.args)
         for spec in specs
     ]
+    bound = [
+        BoundLoop(
+            kernel=spec.kernel,
+            set=spec.set,
+            args=spec.args,
+            plan=plans[i],
+            n=spec.n,
+            start=spec.start,
+        )
+        for i, spec in enumerate(specs)
+    ]
     groups = []
     for idx_group in fusion_groups(specs, plans):
         head = specs[idx_group[0]]
         groups.append(
             FusedGroup(
-                loops=tuple(
-                    BoundLoop(
-                        kernel=specs[i].kernel,
-                        set=specs[i].set,
-                        args=specs[i].args,
-                        plan=plans[i],
-                        n=specs[i].n,
-                        start=specs[i].start,
-                    )
-                    for i in idx_group
-                ),
+                loops=tuple(bound[i] for i in idx_group),
                 plan=plans[idx_group[0]],
                 n=head.n,
                 start=head.start,
             )
         )
+
+    tiled = None
+    tile_size = 0
+    if tiling is not None:
+        from ..tiling import auto_tile_size, build_tiled_schedule, check_tiling
+
+        tiling = check_tiling(tiling)
+        tile_size = (
+            auto_tile_size(bound) if tiling == "auto" else int(tiling)
+        )
+        tiled = build_tiled_schedule(bound, tile_size, profile="phases")
+
     return CompiledChain(
-        groups=tuple(groups), analysis=analyze_dependencies(specs)
+        groups=tuple(groups),
+        analysis=analyze_dependencies(specs),
+        tiling=tiling,
+        tile_size=tile_size,
+        tiled=tiled,
     )
 
 
@@ -390,8 +468,14 @@ class LoopChain:
     executing.  See the module docstring for flush semantics.
     """
 
-    def __init__(self, runtime) -> None:
+    def __init__(self, runtime, tiling=None) -> None:
+        from ..tiling import check_tiling
+
         self.runtime = runtime
+        #: Sparse-tiling request: ``None`` (fused loop-major execution),
+        #: ``"auto"`` or a seed tile size (tile-major execution through
+        #: the inspector/executor of :mod:`repro.tiling`).
+        self.tiling = check_tiling(tiling)
         self._specs: List[LoopSpec] = []
         self._touched: List[object] = []
         self._flushing = False
@@ -457,10 +541,13 @@ class LoopChain:
             return
         specs, self._specs = self._specs, []
         self._disarm()
-        compiled = self.runtime.compiled_chain_for(specs)
+        compiled = self.runtime.compiled_chain_for(specs, tiling=self.tiling)
         self._flushing = True
         try:
-            self.runtime.backend.run_chain(compiled)
+            if compiled.tiled is not None:
+                self.runtime.backend.run_tiled(compiled)
+            else:
+                self.runtime.backend.run_chain(compiled)
         finally:
             self._flushing = False
         self.flushed_loops += len(specs)
@@ -495,8 +582,10 @@ class LoopChain:
             self.flush()
 
 
-def chain(runtime=None) -> LoopChain:
+def chain(runtime=None, tiling=None) -> LoopChain:
     """Module-level convenience: a chain over the default runtime."""
     from .runtime import default_runtime
 
-    return LoopChain(runtime if runtime is not None else default_runtime())
+    return LoopChain(
+        runtime if runtime is not None else default_runtime(), tiling=tiling
+    )

@@ -188,32 +188,42 @@ class Runtime:
     # ------------------------------------------------------------------
     # Deferred execution (see core/chain.py).
     # ------------------------------------------------------------------
-    def chain(self) -> LoopChain:
+    def chain(self, tiling=None) -> LoopChain:
         """A fresh deferred-execution trace bound to this runtime.
 
         Use as a context manager: ``with runtime.chain() as ch:`` —
         ``par_loop`` calls against this runtime record instead of
         executing until the block exits (or a traced Dat/Global is read).
-        """
-        return LoopChain(self)
 
-    def compiled_chain_for(self, specs: Sequence[LoopSpec]) -> CompiledChain:
+        ``tiling`` selects the sparse-tiled lowering
+        (:mod:`repro.tiling`): ``"auto"`` picks a cache-sized seed tile,
+        an int fixes the seed tile size, ``None`` (default) keeps the
+        fused loop-major execution.  Results are bitwise identical in
+        every mode.
+        """
+        return LoopChain(self, tiling=tiling)
+
+    def compiled_chain_for(
+        self, specs: Sequence[LoopSpec], tiling=None
+    ) -> CompiledChain:
         """Compiled schedule for a trace, through the chain cache.
 
-        The cache key is the tuple of per-loop structural signatures
-        (kernel, set, per-arg dat/map/slot/access identities, range), so
-        a steady-state time step that re-records the same loop sequence
-        replays its memoized schedule — no dependency analysis, fusion
-        or plan lookup at all.
+        The cache key is the tiling request plus the tuple of per-loop
+        structural signatures (kernel, set, per-arg dat/map/slot/access
+        identities, range), so a steady-state time step that re-records
+        the same loop sequence replays its memoized schedule — no
+        dependency analysis, fusion, tiling inspection or plan lookup
+        at all — while tiled and untiled compilations of the same trace
+        coexist as distinct cache entry kinds.
         """
-        key = tuple(spec.key() for spec in specs)
+        key = (tiling, tuple(spec.key() for spec in specs))
         compiled = self._chains.get(key)
         if compiled is not None:
             self.chain_cache_hits += 1
             self._chains.move_to_end(key)
             return compiled
         self.chain_cache_misses += 1
-        compiled = compile_chain(specs, self)
+        compiled = compile_chain(specs, self, tiling=tiling)
         self._chains[key] = compiled
         if self.chain_cache_entries is not None:
             while len(self._chains) > self.chain_cache_entries:

@@ -1,0 +1,42 @@
+"""Sparse tiling: inspector/executor cross-loop cache blocking.
+
+The inspector (:mod:`repro.tiling.inspector`) turns a compiled loop
+chain into a :class:`~repro.tiling.schedule.TiledSchedule` — seed
+partition, dependency-aware tile expansion through the chain's maps,
+monotone per-loop slices, tile conflict coloring.  Executors live with
+the backends (:meth:`repro.backends.base.Backend.run_tiled` and the
+vectorized fast path); ``runtime.chain(tiling="auto")`` is the user
+entry point.
+"""
+
+from .inspector import (
+    AUTO_TILE_BYTES,
+    PROFILES,
+    auto_tile_size,
+    barrier_reason,
+    build_tiled_schedule,
+    check_tiling,
+    loop_order,
+    segment_written_rows,
+)
+from .schedule import (
+    BarrierLoop,
+    LoopSlices,
+    TiledSchedule,
+    TiledSegment,
+)
+
+__all__ = [
+    "AUTO_TILE_BYTES",
+    "BarrierLoop",
+    "LoopSlices",
+    "PROFILES",
+    "TiledSchedule",
+    "TiledSegment",
+    "auto_tile_size",
+    "barrier_reason",
+    "build_tiled_schedule",
+    "check_tiling",
+    "loop_order",
+    "segment_written_rows",
+]

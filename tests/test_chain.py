@@ -16,6 +16,7 @@ import pytest
 
 from repro.core import (
     INC,
+    MAX,
     MIN,
     READ,
     RW,
@@ -415,6 +416,197 @@ class TestBarriersAndFlush:
                          arg_dat(self.w, IDX_ID, None, READ),
                          arg_dat(self.s, IDX_ID, None, WRITE),
                          runtime=rt, n_elements=4, start_element=6)
+
+
+# ----------------------------------------------------------------------
+# Barrier edge cases: Global.value flush points, WAR with commuting args
+# ----------------------------------------------------------------------
+@kernel("gscale")
+def gscale(w, g, s):
+    s[0] = g[0] * w[0]
+
+
+@gscale.vectorized
+def gscale_vec(w, g, s):
+    s[:, 0] = g[0] * w[:, 0]
+
+
+@kernel("gmin")
+def gmin(w, g):
+    if w[0] < g[0]:
+        g[0] = w[0]
+
+
+@gmin.vectorized
+def gmin_vec(w, g):
+    np.minimum(g[:, 0], w[:, 0], out=g[:, 0])
+
+
+class TestGlobalBarrierEdgeCases:
+    def setup_method(self):
+        self.nodes, self.edges, self.e2n, self.w, self.s, self.r = (
+            ring_problem()
+        )
+
+    def test_host_write_to_read_global_flushes_pending_reader(self):
+        """Writing Global.value mid-chain must flush a pending loop that
+        READS the global, so the loop observes the pre-write value —
+        exactly what eager execution would have seen (the Volna
+        ``dt_used`` pattern)."""
+        g = Global(1, 3.0, name="gain")
+        rt = Runtime("vectorized", block_size=16)
+        with rt.chain() as ch:
+            par_loop(gscale, self.edges,
+                     arg_dat(self.w, IDX_ID, None, READ),
+                     arg_gbl(g, READ),
+                     arg_dat(self.s, IDX_ID, None, WRITE), runtime=rt)
+            assert len(ch) == 1
+            g.value = 100.0            # write barrier -> flush first
+            assert len(ch) == 0
+        assert np.array_equal(self.s.data[:, 0], 3.0 * self.w.data[:, 0])
+        assert float(g.value) == 100.0
+
+    def test_min_reduction_value_read_flushes(self):
+        """Reading a MIN-reduced Global mid-chain flushes and observes
+        the reduced value (the Volna ``dt`` CFL pattern)."""
+        g = Global(1, np.inf, name="dt")
+        rt = Runtime("vectorized", block_size=16)
+        with rt.chain() as ch:
+            par_loop(gmin, self.edges,
+                     arg_dat(self.w, IDX_ID, None, READ),
+                     arg_gbl(g, MIN), runtime=rt)
+            val = float(g.value)
+            assert len(ch) == 0
+        assert val == pytest.approx(float(self.w.data.min()))
+
+    def test_global_data_read_flushes_like_value(self):
+        g = Global(1, np.inf, name="dt2")
+        rt = Runtime("vectorized", block_size=16)
+        with rt.chain() as ch:
+            par_loop(gmin, self.edges,
+                     arg_dat(self.w, IDX_ID, None, READ),
+                     arg_gbl(g, MIN), runtime=rt)
+            arr = g.data                # ndarray accessor, same barrier
+            assert len(ch) == 0
+        assert float(arr[0]) == pytest.approx(float(self.w.data.min()))
+
+    def test_chained_global_read_then_host_write_matches_eager(self):
+        """Record a reader, host-write the global, record another
+        reader: the first must see the old value, the second the new —
+        bitwise as eager."""
+        def run(chained):
+            g = Global(1, 2.0, name="k")
+            out1 = Dat(self.edges, 1, name="o1")
+            out2 = Dat(self.edges, 1, name="o2")
+            rt = Runtime("vectorized", block_size=16)
+
+            def body():
+                par_loop(gscale, self.edges,
+                         arg_dat(self.w, IDX_ID, None, READ),
+                         arg_gbl(g, READ),
+                         arg_dat(out1, IDX_ID, None, WRITE), runtime=rt)
+                g.value = 5.0
+                par_loop(gscale, self.edges,
+                         arg_dat(self.w, IDX_ID, None, READ),
+                         arg_gbl(g, READ),
+                         arg_dat(out2, IDX_ID, None, WRITE), runtime=rt)
+
+            if chained:
+                with rt.chain():
+                    body()
+            else:
+                body()
+            return out1.data.copy(), out2.data.copy()
+
+        e1, e2 = run(chained=False)
+        c1, c2 = run(chained=True)
+        assert np.array_equal(e1, c1)
+        assert np.array_equal(e2, c2)
+
+
+class TestCommutingWARAnalysis:
+    """WAR ordering around commuting INC/MIN/MAX reductions."""
+
+    def setup_method(self):
+        self.nodes, self.edges, self.e2n, self.w, self.s, self.r = (
+            ring_problem()
+        )
+
+    def test_read_then_min_orders(self):
+        g = Global(1, name="g")
+        a = dummy_spec(self.edges, arg_gbl(g, READ))
+        b = dummy_spec(self.edges, arg_gbl(g, MIN))
+        an = analyze_dependencies([a, b])
+        assert (0, 1) in an.edges          # WAR: reduce after read
+        assert an.levels == (0, 1)
+
+    def test_inc_read_inc_sandwich(self):
+        """INC; READ; INC — the read must order against both reducers
+        (read-after-reduce RAW, then reduce-after-read WAR), even
+        though the two INCs commute with each other."""
+        a = dummy_spec(self.edges, arg_dat(self.r, 0, self.e2n, INC))
+        b = dummy_spec(self.nodes, arg_dat(self.r, IDX_ID, None, READ))
+        c = dummy_spec(self.edges, arg_dat(self.r, 1, self.e2n, INC))
+        an = analyze_dependencies([a, b, c])
+        assert (0, 1) in an.edges
+        assert (1, 2) in an.edges
+        assert an.levels == (0, 1, 2)
+        assert an.frontiers == ((0,), (1,), (2,))
+
+    def test_mixed_reduction_modes_order_both_ways(self):
+        g = Global(1, name="g")
+        inc = dummy_spec(self.edges, arg_gbl(g, INC))
+        mn = dummy_spec(self.edges, arg_gbl(g, MIN))
+        mx = dummy_spec(self.edges, arg_gbl(g, MAX))
+        an = analyze_dependencies([inc, mn, mx])
+        assert (0, 1) in an.edges and (1, 2) in an.edges
+        assert an.levels == (0, 1, 2)
+
+    def test_write_after_commuting_reducers(self):
+        """A plain WRITE after two commuting INCs must order against
+        both (WAW through the reduction), and a subsequent INC starts a
+        fresh commuting group."""
+        a = dummy_spec(self.edges, arg_dat(self.r, 0, self.e2n, INC))
+        b = dummy_spec(self.edges, arg_dat(self.r, 1, self.e2n, INC))
+        c = dummy_spec(self.nodes, arg_dat(self.r, IDX_ID, None, WRITE))
+        d = dummy_spec(self.edges, arg_dat(self.r, 0, self.e2n, INC))
+        an = analyze_dependencies([a, b, c, d])
+        assert (0, 2) in an.edges and (1, 2) in an.edges
+        assert (2, 3) in an.edges          # RAW-ish: inc after write
+        assert (0, 1) not in an.edges      # the INCs still commute
+        assert an.levels == (0, 0, 1, 2)
+
+    def test_war_execution_matches_eager(self):
+        """Execution-level WAR regression: a loop reading a Dat followed
+        by commuting increments of the same Dat must observe pre-
+        increment values when chained — bitwise as eager."""
+        def run(chained):
+            r = Dat(self.nodes, 1,
+                    np.arange(self.nodes.size, dtype=np.float64),
+                    name="racc")
+            snap = Dat(self.nodes, 1, name="snap")
+            rt = Runtime("vectorized", block_size=16)
+
+            def body():
+                par_loop(chain_scale, self.nodes,
+                         arg_dat(r, IDX_ID, None, READ),
+                         arg_dat(snap, IDX_ID, None, WRITE), runtime=rt)
+                par_loop(chain_spmv, self.edges,
+                         arg_dat(self.w, IDX_ID, None, READ),
+                         arg_dat(r, 0, self.e2n, INC),
+                         arg_dat(r, 1, self.e2n, INC), runtime=rt)
+
+            if chained:
+                with rt.chain():
+                    body()
+            else:
+                body()
+            return snap.data.copy(), r.data.copy()
+
+        es, er = run(chained=False)
+        cs, cr = run(chained=True)
+        assert np.array_equal(es, cs)
+        assert np.array_equal(er, cr)
 
 
 # ----------------------------------------------------------------------
