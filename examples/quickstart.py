@@ -51,28 +51,20 @@ result = Dat(nodes, 1, name="result")
 scaled = Dat(edges, 1, name="scaled")
 
 
-# 4. Elementary kernels: scalar form (per element) and vector form
-#    (per batch of elements) — the paper's user kernel + intrinsics pair.
+# 4. Elementary kernels: scalar form only — the batched (vectorized)
+#    incarnation is *generated* from this source by the kernel compiler
+#    (repro.kernelc), exactly as the paper's code generator derives the
+#    intrinsics version from the user kernel.  Inspect the generated
+#    code with `python -m repro.bench --dump-kernel <name>`.
 @kernel("scale_edge", flops=1, description="direct scale")
 def scale_edge(w, s):
     s[0] = 3.0 * w[0]
-
-
-@scale_edge.vectorized
-def scale_edge_vec(w, s):
-    s[:, 0] = 3.0 * w[:, 0]
 
 
 @kernel("spmv_edge", flops=4, description="SpMV over edges")
 def spmv_edge(s, r0, r1):
     r0[0] += s[0]
     r1[0] += 2.0 * s[0]
-
-
-@spmv_edge.vectorized
-def spmv_edge_vec(s, r0, r1):
-    r0[:, 0] += s[:, 0]
-    r1[:, 0] += 2.0 * s[:, 0]
 
 
 def loops(rt):

@@ -24,11 +24,9 @@ Quickstart::
         out0[0] += wt[0]
         out1[0] += wt[0]
 
-    @spmv.vectorized
-    def spmv_vec(wt, out0, out1):
-        out0[:, 0] += wt[:, 0]
-        out1[:, 0] += wt[:, 0]
-
+    # Batched (SIMD-style) forms are generated automatically from the
+    # scalar source by the kernel compiler (repro.kernelc) — users
+    # write scalar kernels only.
     par_loop(spmv, edges,
              arg_dat(w, -1, None, READ),
              arg_dat(acc, 0, e2n, INC),

@@ -1,9 +1,13 @@
-"""The five Airfoil kernels (paper Table II) in scalar and vector form.
+"""The five Airfoil kernels (paper Table II) — scalar sources only.
 
-Scalar bodies are direct transcriptions of the OP2 Airfoil user kernels;
-vector bodies operate on ``(lanes, dim)`` batches and replace the one
-data-dependent branch (``bres_calc``'s wall/far-field conditional) with
-``select()`` — exactly the rewrite Section 4.2 describes.
+These are direct transcriptions of the OP2 Airfoil user kernels.  The
+batched (cross-element SIMD) forms are **generated** from these scalar
+bodies by the kernel compiler (:mod:`repro.kernelc`): backends request
+them per argument shape through :meth:`Kernel.vector_for`, branches such
+as ``bres_calc``'s wall/far-field conditional are lowered to lane masks
+automatically — exactly the rewrite Section 4.2 describes, performed by
+the emitter instead of by hand.  Inspect the generated code with
+``python -m repro.bench --dump-kernel res_calc``.
 
 Arithmetic metadata mirrors Table II (FLOPs per element, transcendentals
 counted as one each); ``vectorizable_simt`` encodes which kernels the
@@ -16,7 +20,6 @@ from __future__ import annotations
 import numpy as np
 
 from ...core.kernel import Kernel, KernelInfo
-from ...simd import select, vsqrt
 from .constants import AirfoilConstants, DEFAULT_CONSTANTS
 
 
@@ -36,9 +39,6 @@ def make_kernels(const: AirfoilConstants = DEFAULT_CONSTANTS) -> dict:
         for n in range(4):
             qold[n] = q[n]
 
-    def save_soln_vec(q, qold):
-        qold[:, :] = q[:, :]
-
     # ------------------------------------------------------------------
     # adt_calc: local timestep from cell geometry + state (4 corner-node
     # gathers, direct write; 5 sqrts make it compute-heavy when scalar).
@@ -57,19 +57,6 @@ def make_kernels(const: AirfoilConstants = DEFAULT_CONSTANTS) -> dict:
             dy = x2[1] - x1[1]
             acc += abs(u * dy - v * dx) + c * np.sqrt(dx * dx + dy * dy)
         adt[0] = acc / cfl
-
-    def adt_calc_vec(x, q, adt):
-        # x: (lanes, 4, 2); q: (lanes, 4); adt: (lanes, 1).
-        ri = 1.0 / q[:, 0]
-        u = ri * q[:, 1]
-        v = ri * q[:, 2]
-        c = np.sqrt(gam * gm1 * (ri * q[:, 3] - 0.5 * (u * u + v * v)))
-        acc = np.zeros_like(ri)
-        for k in range(4):
-            dx = x[:, (k + 1) % 4, 0] - x[:, k, 0]
-            dy = x[:, (k + 1) % 4, 1] - x[:, k, 1]
-            acc += np.abs(u * dy - v * dx) + c * np.sqrt(dx * dx + dy * dy)
-        adt[:, 0] = acc / cfl
 
     # ------------------------------------------------------------------
     # res_calc: edge flux with artificial dissipation; the INC scatter to
@@ -108,42 +95,10 @@ def make_kernels(const: AirfoilConstants = DEFAULT_CONSTANTS) -> dict:
         res1[3] += f
         res2[3] -= f
 
-    def res_calc_vec(x1, x2, q1, q2, adt1, adt2, res1, res2):
-        dx = x1[:, 0] - x2[:, 0]
-        dy = x1[:, 1] - x2[:, 1]
-
-        ri = 1.0 / q1[:, 0]
-        p1 = gm1 * (q1[:, 3] - 0.5 * ri * (q1[:, 1] ** 2 + q1[:, 2] ** 2))
-        vol1 = ri * (q1[:, 1] * dy - q1[:, 2] * dx)
-
-        ri = 1.0 / q2[:, 0]
-        p2 = gm1 * (q2[:, 3] - 0.5 * ri * (q2[:, 1] ** 2 + q2[:, 2] ** 2))
-        vol2 = ri * (q2[:, 1] * dy - q2[:, 2] * dx)
-
-        mu = 0.5 * (adt1[:, 0] + adt2[:, 0]) * eps
-
-        f = 0.5 * (vol1 * q1[:, 0] + vol2 * q2[:, 0]) + mu * (q1[:, 0] - q2[:, 0])
-        res1[:, 0] += f
-        res2[:, 0] -= f
-        f = 0.5 * (
-            vol1 * q1[:, 1] + p1 * dy + vol2 * q2[:, 1] + p2 * dy
-        ) + mu * (q1[:, 1] - q2[:, 1])
-        res1[:, 1] += f
-        res2[:, 1] -= f
-        f = 0.5 * (
-            vol1 * q1[:, 2] - p1 * dx + vol2 * q2[:, 2] - p2 * dx
-        ) + mu * (q1[:, 2] - q2[:, 2])
-        res1[:, 2] += f
-        res2[:, 2] -= f
-        f = 0.5 * (vol1 * (q1[:, 3] + p1) + vol2 * (q2[:, 3] + p2)) + mu * (
-            q1[:, 3] - q2[:, 3]
-        )
-        res1[:, 3] += f
-        res2[:, 3] -= f
-
     # ------------------------------------------------------------------
-    # bres_calc: boundary flux with the wall / far-field branch that must
-    # become select() in the vector form (Section 4.2's one conditional).
+    # bres_calc: boundary flux with the wall / far-field branch.  The
+    # vector emitter lowers this conditional to lane masks (Section
+    # 4.2's one rewrite) — no hand-written select() version needed.
     # ------------------------------------------------------------------
     def bres_calc(x1, x2, q1, adt1, res1, bound):
         dx = x1[0] - x2[0]
@@ -174,36 +129,6 @@ def make_kernels(const: AirfoilConstants = DEFAULT_CONSTANTS) -> dict:
             )
             res1[3] += f
 
-    def bres_calc_vec(x1, x2, q1, adt1, res1, bound):
-        dx = x1[:, 0] - x2[:, 0]
-        dy = x1[:, 1] - x2[:, 1]
-        ri = 1.0 / q1[:, 0]
-        p1 = gm1 * (q1[:, 3] - 0.5 * ri * (q1[:, 1] ** 2 + q1[:, 2] ** 2))
-        wall = bound[:, 0] == 1
-
-        # Far-field flux, computed for every lane then masked off at walls.
-        vol1 = ri * (q1[:, 1] * dy - q1[:, 2] * dx)
-        ri2 = 1.0 / qinf[0]
-        p2 = gm1 * (qinf[3] - 0.5 * ri2 * (qinf[1] ** 2 + qinf[2] ** 2))
-        vol2 = ri2 * (qinf[1] * dy - qinf[2] * dx)
-        mu = adt1[:, 0] * eps
-
-        f0 = 0.5 * (vol1 * q1[:, 0] + vol2 * qinf[0]) + mu * (q1[:, 0] - qinf[0])
-        f1 = 0.5 * (
-            vol1 * q1[:, 1] + p1 * dy + vol2 * qinf[1] + p2 * dy
-        ) + mu * (q1[:, 1] - qinf[1])
-        f2 = 0.5 * (
-            vol1 * q1[:, 2] - p1 * dx + vol2 * qinf[2] - p2 * dx
-        ) + mu * (q1[:, 2] - qinf[2])
-        f3 = 0.5 * (vol1 * (q1[:, 3] + p1) + vol2 * (qinf[3] + p2)) + mu * (
-            q1[:, 3] - qinf[3]
-        )
-
-        res1[:, 0] += select(wall, 0.0, f0)
-        res1[:, 1] += select(wall, p1 * dy, f1)
-        res1[:, 2] += select(wall, -p1 * dx, f2)
-        res1[:, 3] += select(wall, 0.0, f3)
-
     # ------------------------------------------------------------------
     # update: flow-field update + RMS residual reduction (direct loop).
     # ------------------------------------------------------------------
@@ -215,48 +140,36 @@ def make_kernels(const: AirfoilConstants = DEFAULT_CONSTANTS) -> dict:
             res[n] = 0.0
             rms[0] += delta * delta
 
-    def update_vec(qold, q, res, adt, rms):
-        adti = 1.0 / adt[:, 0]
-        delta = adti[:, None] * res
-        q[:, :] = qold - delta
-        res[:, :] = 0.0
-        rms[:, 0] += (delta * delta).sum(axis=1)
-
     return {
         "save_soln": Kernel(
             "save_soln",
             save_soln,
-            save_soln_vec,
-            KernelInfo(flops=4, description="Direct copy"),
+            info=KernelInfo(flops=4, description="Direct copy"),
             vectorizable_simt=False,
         ),
         "adt_calc": Kernel(
             "adt_calc",
             adt_calc,
-            adt_calc_vec,
-            KernelInfo(flops=64, transcendentals=5,
-                       description="Gather, direct write"),
+            info=KernelInfo(flops=64, transcendentals=5,
+                            description="Gather, direct write"),
             vectorizable_simt=True,
         ),
         "res_calc": Kernel(
             "res_calc",
             res_calc,
-            res_calc_vec,
-            KernelInfo(flops=73, description="Gather, colored scatter"),
+            info=KernelInfo(flops=73, description="Gather, colored scatter"),
             vectorizable_simt=False,
         ),
         "bres_calc": Kernel(
             "bres_calc",
             bres_calc,
-            bres_calc_vec,
-            KernelInfo(flops=73, description="Boundary"),
+            info=KernelInfo(flops=73, description="Boundary"),
             vectorizable_simt=True,
         ),
         "update": Kernel(
             "update",
             update,
-            update_vec,
-            KernelInfo(flops=17, description="Direct, reduction"),
+            info=KernelInfo(flops=17, description="Direct, reduction"),
             vectorizable_simt=False,
         ),
     }

@@ -1,4 +1,4 @@
-"""The six Volna kernels (paper Table III) in scalar and vector form.
+"""The six Volna kernels (paper Table III) — scalar sources only.
 
 Volna solves the non-linear shallow-water equations with a finite-volume
 HLL scheme and SSP-RK2 time stepping.  Per paper Table III the kernels
@@ -17,8 +17,12 @@ are:
 ``sim_1``          direct copy (output snapshot)
 =================  ==========================================================
 
-All conditionals (dry states, wall mirroring, HLL upwind cases) use
-``select()`` in both forms so scalar and vector agree bitwise.
+The batched forms are generated from these scalar bodies by
+:mod:`repro.kernelc`.  Dry-state, wall-mirroring and HLL upwind
+conditionals are written with ``select()`` — the branchless helpers
+``_hll_flux`` / ``_velocities`` are polymorphic over scalars and lane
+arrays, so the vector emitter passes calls to them straight through and
+scalar and generated-vector execution agree bitwise.
 """
 
 from __future__ import annotations
@@ -120,37 +124,6 @@ def make_kernels(g: float = GRAVITY, cfl: float = CFL) -> dict:
         speed[0] = smax
         speed[1] = ln
 
-    def compute_flux_vec(geom, q0, q1, flux, speed):
-        nx, ny = geom[:, 0], geom[:, 1]
-        ln, bnd = geom[:, 2], geom[:, 3]
-        h0, hu0, hv0, zb0 = q0[:, 0], q0[:, 1], q0[:, 2], q0[:, 3]
-        h1, hu1, hv1, zb1 = q1[:, 0], q1[:, 1], q1[:, 2], q1[:, 3]
-
-        u0, v0 = _velocities(h0, hu0, hv0)
-        u1, v1 = _velocities(h1, hu1, hv1)
-        un0 = u0 * nx + v0 * ny
-        ut0 = -u0 * ny + v0 * nx
-        un1 = u1 * nx + v1 * ny
-        ut1 = -u1 * ny + v1 * nx
-
-        is_wall = bnd > 0.5
-        un1 = select(is_wall, -un0, un1)
-        ut1 = select(is_wall, ut0, ut1)
-        h1r = select(is_wall, h0, h1)
-        zb1r = select(is_wall, zb0, zb1)
-
-        zf = vmax(zb0, zb1r)
-        h0s = vmax(h0 + zb0 - zf, 0.0)
-        h1s = vmax(h1r + zb1r - zf, 0.0)
-
-        f_h, f_un, f_ut, smax = _hll_flux(h0s, un0, ut0, h1s, un1, ut1, g)
-        flux[:, 0] = f_h
-        flux[:, 1] = f_un
-        flux[:, 2] = f_ut
-        flux[:, 3] = 0.0
-        speed[:, 0] = smax
-        speed[:, 1] = ln
-
     # ------------------------------------------------------------------
     # numerical_flux — CFL time step (global MIN) + zero the accumulator.
     # speeds: (3, 2) gathered via cell2edge's vector argument.
@@ -165,16 +138,6 @@ def make_kernels(g: float = GRAVITY, cfl: float = CFL) -> dict:
         dt[0] = min(dt[0], local)
         for n in range(4):
             L[n] = 0.0
-
-    def numerical_flux_vec(vol, speeds, L, dt):
-        wave = (
-            speeds[:, 0, 0] * speeds[:, 0, 1]
-            + speeds[:, 1, 0] * speeds[:, 1, 1]
-            + speeds[:, 2, 0] * speeds[:, 2, 1]
-        )
-        local = cfl * 2.0 * vol[:, 0] / np.where(wave > DRY_EPS, wave, DRY_EPS)
-        dt[:, 0] = np.minimum(dt[:, 0], local)
-        L[:, :] = 0.0
 
     # ------------------------------------------------------------------
     # space_disc — flux divergence + per-side bed-slope correction.
@@ -209,35 +172,6 @@ def make_kernels(g: float = GRAVITY, cfl: float = CFL) -> dict:
         L1[1] += fx1 * a1
         L1[2] += fy1 * a1
 
-    def space_disc_vec(flux, geom, q0, q1, vol0, vol1, L0, L1):
-        nx, ny = geom[:, 0], geom[:, 1]
-        ln, bnd = geom[:, 2], geom[:, 3]
-        h0, zb0 = q0[:, 0], q0[:, 3]
-        h1, zb1 = q1[:, 0], q1[:, 3]
-
-        zf = np.maximum(zb0, zb1)
-        h0s = np.maximum(h0 + zb0 - zf, 0.0)
-        h1s = np.maximum(h1 + zb1 - zf, 0.0)
-        corr0 = 0.5 * g * (h0 * h0 - h0s * h0s)
-        corr1 = 0.5 * g * (h1 * h1 - h1s * h1s)
-
-        fn0 = flux[:, 1] + corr0
-        fn1 = flux[:, 1] + corr1
-        fx0 = fn0 * nx - flux[:, 2] * ny
-        fy0 = fn0 * ny + flux[:, 2] * nx
-        fx1 = fn1 * nx - flux[:, 2] * ny
-        fy1 = fn1 * ny + flux[:, 2] * nx
-
-        a0 = ln / vol0[:, 0]
-        L0[:, 0] -= flux[:, 0] * a0
-        L0[:, 1] -= fx0 * a0
-        L0[:, 2] -= fy0 * a0
-        w = np.where(bnd > 0.5, 0.0, 1.0)
-        a1 = w * ln / vol1[:, 0]
-        L1[:, 0] += flux[:, 0] * a1
-        L1[:, 1] += fx1 * a1
-        L1[:, 2] += fy1 * a1
-
     # ------------------------------------------------------------------
     # RK_1 — stage 1: backup + midpoint state.
     # ------------------------------------------------------------------
@@ -247,11 +181,6 @@ def make_kernels(g: float = GRAVITY, cfl: float = CFL) -> dict:
             q_mid[n] = q[n] + dt[0] * L[n]
         q_mid[0] = max(q_mid[0], 0.0)
 
-    def rk_1_vec(q, L, q_old, q_mid, dt):
-        q_old[:, :] = q
-        q_mid[:, :] = q + dt[0] * L
-        q_mid[:, 0] = np.maximum(q_mid[:, 0], 0.0)
-
     # ------------------------------------------------------------------
     # RK_2 — SSP combine of backup, midpoint and midpoint RHS.
     # ------------------------------------------------------------------
@@ -260,10 +189,6 @@ def make_kernels(g: float = GRAVITY, cfl: float = CFL) -> dict:
             q[n] = 0.5 * (q_old[n] + q_mid[n] + dt[0] * L[n])
         q[0] = max(q[0], 0.0)
 
-    def rk_2_vec(q_old, q_mid, L, q, dt):
-        q[:, :] = 0.5 * (q_old + q_mid + dt[0] * L)
-        q[:, 0] = np.maximum(q[:, 0], 0.0)
-
     # ------------------------------------------------------------------
     # sim_1 — direct copy (snapshot for output).
     # ------------------------------------------------------------------
@@ -271,39 +196,36 @@ def make_kernels(g: float = GRAVITY, cfl: float = CFL) -> dict:
         for n in range(4):
             out[n] = q[n]
 
-    def sim_1_vec(q, out):
-        out[:, :] = q
-
     return {
         "compute_flux": Kernel(
-            "compute_flux", compute_flux, compute_flux_vec,
-            KernelInfo(flops=154, transcendentals=2,
-                       description="Gather, direct write"),
+            "compute_flux", compute_flux,
+            info=KernelInfo(flops=154, transcendentals=2,
+                            description="Gather, direct write"),
             vectorizable_simt=True,
         ),
         "numerical_flux": Kernel(
-            "numerical_flux", numerical_flux, numerical_flux_vec,
-            KernelInfo(flops=9, description="Gather, reduction"),
+            "numerical_flux", numerical_flux,
+            info=KernelInfo(flops=9, description="Gather, reduction"),
             vectorizable_simt=True,
         ),
         "space_disc": Kernel(
-            "space_disc", space_disc, space_disc_vec,
-            KernelInfo(flops=23, description="Gather, scatter"),
+            "space_disc", space_disc,
+            info=KernelInfo(flops=23, description="Gather, scatter"),
             vectorizable_simt=False,
         ),
         "RK_1": Kernel(
-            "RK_1", rk_1, rk_1_vec,
-            KernelInfo(flops=12, description="Direct"),
+            "RK_1", rk_1,
+            info=KernelInfo(flops=12, description="Direct"),
             vectorizable_simt=False,
         ),
         "RK_2": Kernel(
-            "RK_2", rk_2, rk_2_vec,
-            KernelInfo(flops=16, description="Direct"),
+            "RK_2", rk_2,
+            info=KernelInfo(flops=16, description="Direct"),
             vectorizable_simt=False,
         ),
         "sim_1": Kernel(
-            "sim_1", sim_1, sim_1_vec,
-            KernelInfo(flops=0, description="Direct copy"),
+            "sim_1", sim_1,
+            info=KernelInfo(flops=0, description="Direct copy"),
             vectorizable_simt=False,
         ),
     }

@@ -48,16 +48,15 @@ class SIMTBackend(Backend):
             raise ValueError(f"Unknown SIMT device {device!r}")
         self.device = device
 
-    def _vectorizes(self, kernel) -> bool:
-        if not kernel.has_vector_form:
-            return False
-        if self.device == "phi":
-            return True
-        return kernel.vectorizable_simt
+    def _vectorizes(self, kernel, args):
+        """The batched form the modelled OpenCL compiler emits, or None."""
+        if self.device == "cpu" and not kernel.vectorizable_simt:
+            return None
+        return kernel.vector_for(args)
 
     # ------------------------------------------------------------------
     def _run(self, kernel, set_, args, plan, n, reductions, start=0) -> None:
-        vectorized = self._vectorizes(kernel)
+        vfn = self._vectorizes(kernel, args)
         layout = plan.layout
         elem_colors = plan.elem_colors
         for color_blocks in plan.blocks_by_color:
@@ -66,9 +65,9 @@ class SIMTBackend(Backend):
                 lo, hi = max(lo, start), min(hi, n)
                 if lo >= hi:
                     continue
-                if vectorized:
+                if vfn is not None:
                     self._run_block_vector(
-                        kernel, args, lo, hi, elem_colors,
+                        vfn, args, lo, hi, elem_colors,
                         int(plan.block_ncolors[int(b)]), reductions,
                     )
                 else:
@@ -79,11 +78,11 @@ class SIMTBackend(Backend):
 
     # ------------------------------------------------------------------
     def _run_block_vector(
-        self, kernel, args, lo, hi, elem_colors, ncolors, reductions
+        self, vfn, args, lo, hi, elem_colors, ncolors, reductions
     ) -> None:
         elems = np.arange(lo, hi)
         batch = gather_batch(args, elems)
-        kernel.vector(*batch.arrays)
+        vfn(*batch.arrays)
         self._colored_scatter(args, batch, elems, elem_colors, ncolors, reductions)
 
     def _run_block_scalar(

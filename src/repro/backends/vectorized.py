@@ -91,7 +91,9 @@ class _PhaseExec:
         nl = elems.size
         contiguous = phase.contiguous
         serialize = phase.serialize
-        self.kernel_vec = bl.kernel.vector
+        # Generated (or explicitly attached) batched form for this
+        # loop's argument shapes, from the kernelc compile cache.
+        self.kernel_vec = bl.kernel.vector_for(bl.args)
         self.proto = []       # per-arg prebound array, or None (gathered)
         self.fills = []       # (buffer, fill value) refilled each run
         self.gathers = []     # (pos, is_mapped_gather, dat, index array)
@@ -270,19 +272,21 @@ class VectorizedBackend(Backend):
 
     # ------------------------------------------------------------------
     def _run(self, kernel, set_, args, plan, n, reductions, start=0) -> None:
-        if not kernel.has_vector_form:
-            # No vector form: the intrinsics backend degenerates to the
-            # scalar sweep (the paper's non-vectorizable-kernel case).
+        vfn = kernel.vector_for(args)
+        if vfn is None:
+            # No vector form derivable: the intrinsics backend degenerates
+            # to the scalar sweep (the paper's non-vectorizable case).
             for e in range(start, n):
                 run_scalar_element(kernel.scalar, args, e, reductions)
             return
 
         if plan.is_direct:
             if self.batch == "color":
-                self._run_phases(kernel, args, plan, n, reductions, start)
+                self._run_phases(kernel, vfn, args, plan, n, reductions,
+                                 start)
             else:
                 self._run_range(
-                    kernel, args, np.arange(start, n), reductions,
+                    kernel, vfn, args, np.arange(start, n), reductions,
                     serialize=False,
                 )
             return
@@ -299,20 +303,23 @@ class VectorizedBackend(Backend):
                 run_scalar_element(kernel.scalar, args, e, reductions)
             return
         if self.batch == "color":
-            self._run_phases(kernel, args, plan, n, reductions, start)
+            self._run_phases(kernel, vfn, args, plan, n, reductions, start)
         elif scheme == "two_level":
-            self._run_two_level(kernel, args, plan, n, reductions, start)
+            self._run_two_level(kernel, vfn, args, plan, n, reductions, start)
         elif scheme == "full_permute":
-            self._run_full_permute(kernel, args, plan, n, reductions, start)
+            self._run_full_permute(kernel, vfn, args, plan, n, reductions,
+                                   start)
         elif scheme == "block_permute":
-            self._run_block_permute(kernel, args, plan, n, reductions, start)
+            self._run_block_permute(kernel, vfn, args, plan, n, reductions,
+                                    start)
         else:  # pragma: no cover - schemes validated at plan build
             raise ValueError(f"Unknown plan scheme {scheme!r}")
 
     # ------------------------------------------------------------------
     # Whole-color mega-batch path.
     # ------------------------------------------------------------------
-    def _run_phases(self, kernel, args, plan, n, reductions, start=0) -> None:
+    def _run_phases(self, kernel, vfn, args, plan, n, reductions,
+                    start=0) -> None:
         """One fused gather/compute/scatter per conflict-free color.
 
         ``plan.phases`` memoizes both the phase element arrays and (via
@@ -322,7 +329,7 @@ class VectorizedBackend(Backend):
         """
         for phase in plan.phases(n, start):
             batch = gather_batch(args, phase.elems, phase=phase)
-            kernel.vector(*batch.arrays)
+            vfn(*batch.arrays)
             scatter_batch(args, batch, reductions,
                           serialize_inc=phase.serialize)
 
@@ -365,7 +372,7 @@ class VectorizedBackend(Backend):
             return False
         plan = group.plan
         for bl in group.loops:
-            if not bl.kernel.has_vector_form:
+            if bl.kernel.vector_for(bl.args) is None:
                 return False
             if (
                 not plan.is_direct
@@ -459,7 +466,7 @@ class VectorizedBackend(Backend):
                 continue
             for k in part.loop_indices:
                 bl = compiled.loops[k]
-                if not bl.kernel.has_vector_form:
+                if bl.kernel.vector_for(bl.args) is None:
                     return False
                 plan = bl.plan
                 if (
@@ -541,6 +548,7 @@ class VectorizedBackend(Backend):
     def _run_range(
         self,
         kernel,
+        vfn,
         args,
         elems: np.ndarray,
         reductions,
@@ -552,11 +560,11 @@ class VectorizedBackend(Backend):
                     run_scalar_element(kernel.scalar, args, int(e), reductions)
                 continue
             batch = gather_batch(args, chunk)
-            kernel.vector(*batch.arrays)
+            vfn(*batch.arrays)
             scatter_batch(args, batch, reductions, serialize_inc=serialize)
 
     # ------------------------------------------------------------------
-    def _run_two_level(self, kernel, args, plan, n, reductions,
+    def _run_two_level(self, kernel, vfn, args, plan, n, reductions,
                        start=0) -> None:
         # Pure-SIMD over the original ordering: within a chunk, lanes may
         # share an indirect target, so increments scatter serialized.
@@ -568,19 +576,21 @@ class VectorizedBackend(Backend):
                 if lo >= hi:
                     continue
                 self._run_range(
-                    kernel, args, np.arange(lo, hi), reductions, serialize=True
+                    kernel, vfn, args, np.arange(lo, hi), reductions,
+                    serialize=True,
                 )
 
-    def _run_full_permute(self, kernel, args, plan, n, reductions,
+    def _run_full_permute(self, kernel, vfn, args, plan, n, reductions,
                           start=0) -> None:
         perm = plan.permutation
         for c in range(perm.ncolors):
             elems = perm.color_slice(c)
             elems = elems[(elems >= start) & (elems < n)]
             if elems.size:
-                self._run_range(kernel, args, elems, reductions, serialize=False)
+                self._run_range(kernel, vfn, args, elems, reductions,
+                                serialize=False)
 
-    def _run_block_permute(self, kernel, args, plan, n, reductions,
+    def _run_block_permute(self, kernel, vfn, args, plan, n, reductions,
                            start=0) -> None:
         bp = plan.block_permutation
         layout = plan.layout
@@ -591,5 +601,6 @@ class VectorizedBackend(Backend):
                     elems = elems[(elems >= start) & (elems < n)]
                     if elems.size:
                         self._run_range(
-                            kernel, args, elems, reductions, serialize=False
+                            kernel, vfn, args, elems, reductions,
+                            serialize=False,
                         )

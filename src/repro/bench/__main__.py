@@ -19,11 +19,68 @@ from .harness import RESULTS_DIR
 from .measured import (
     ALL_ABLATIONS,
     batch_ablation,
+    kernelc_ablation,
     loop_chain_ablation,
     measured_speedups,
     tiling_ablation,
 )
 from .tables import ALL_TABLES
+
+
+def dump_kernel(name: str) -> int:
+    """Print the kernelc-generated sources for one application kernel.
+
+    Shapes are harvested from a real traced time step (a tiny sim run
+    with a chained sequential runtime), so the dump shows exactly what
+    the backends compile: the specialized scalar loop stub and the
+    batched vector kernel for that loop's argument signature.
+    """
+    import numpy as np
+
+    from ..apps.airfoil import AirfoilSim
+    from ..apps.volna import VolnaSim
+    from ..core import Runtime
+    from ..kernelc import (
+        generate_loop_source,
+        supports,
+        vector_source_for,
+    )
+    from ..mesh import make_airfoil_mesh, make_tri_mesh
+
+    loops = {}
+    for build in (
+        lambda: AirfoilSim(make_airfoil_mesh(6, 3),
+                           runtime=Runtime("sequential"), chained=True),
+        lambda: VolnaSim(make_tri_mesh(4, 3, 100_000.0, 75_000.0),
+                         dtype=np.float64,
+                         runtime=Runtime("sequential"), chained=True),
+    ):
+        sim = build()
+        sim.step()
+        for compiled in sim.runtime._chains.values():
+            for bl in compiled.loops:
+                loops.setdefault(bl.kernel.name, (bl.kernel, bl.args))
+    if name not in loops:
+        print(f"unknown kernel {name!r}; traced kernels: "
+              f"{', '.join(sorted(loops))}")
+        return 1
+    kernel, args = loops[name]
+    print(f"# ---- {name}: specialized scalar stub "
+          f"(repro.kernelc.scalar) ----")
+    if supports(args):
+        print(generate_loop_source(kernel.name, args))
+    else:
+        print("# shape outside the stub subset "
+              "(generic interpreter fallback)\n")
+    print(f"# ---- {name}: generated vector kernel "
+          f"(repro.kernelc.vector) ----")
+    from ..kernelc import UnvectorizableKernel
+
+    try:
+        print(vector_source_for(kernel, args))
+    except UnvectorizableKernel as exc:
+        print(f"# not vectorizable (scalar fallback at run time): {exc}\n")
+    return 0
 
 
 def main(argv=None) -> int:
@@ -49,8 +106,16 @@ def main(argv=None) -> int:
         help="CI smoke mode: one model table plus a small "
              "batched-vs-chunked measurement",
     )
+    parser.add_argument(
+        "--dump-kernel", metavar="NAME", default=None,
+        help="print the kernelc-generated scalar stub and vector kernel "
+             "for one application kernel (e.g. res_calc, compute_flux)",
+    )
     parser.add_argument("--outdir", default=None, help="output directory")
     args = parser.parse_args(argv)
+
+    if args.dump_kernel is not None:
+        return dump_kernel(args.dump_kernel)
 
     registry = {**ALL_TABLES, **ALL_FIGURES}
 
@@ -84,6 +149,16 @@ def main(argv=None) -> int:
         )
         print(tiling_t.render())
         print(f"[saved {tiling_t.save('ablation_tiling', args.outdir)}]\n")
+        kc_t = kernelc_ablation(
+            steps=3,
+            meshes={
+                ("airfoil", "48x24"): make_airfoil_mesh(48, 24),
+                ("volna", "24x18"): make_tri_mesh(24, 18, 100_000.0,
+                                                  75_000.0),
+            },
+        )
+        print(kc_t.render())
+        print(f"[saved {kc_t.save('ablation_kernelc', args.outdir)}]\n")
         print(f"Results under {args.outdir or RESULTS_DIR}/")
         return 0
 
@@ -109,7 +184,7 @@ def main(argv=None) -> int:
             table = gen()
             print(table.render())
             table.save(f"BENCH_{name}", args.outdir)
-        # The loop-chain and tiling ablations keep their
+        # The loop-chain, tiling and kernelc ablations keep their
         # acceptance-artifact names.
         table = loop_chain_ablation()
         print(table.render())
@@ -117,6 +192,9 @@ def main(argv=None) -> int:
         table = tiling_ablation()
         print(table.render())
         table.save("ablation_tiling", args.outdir)
+        table = kernelc_ablation()
+        print(table.render())
+        table.save("ablation_kernelc", args.outdir)
 
     print(f"Results under {args.outdir or RESULTS_DIR}/")
     return 0

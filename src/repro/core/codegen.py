@@ -1,157 +1,28 @@
-"""Code generation: OP2's "active library" program transformation.
+"""Compatibility shim — the code generator moved to :mod:`repro.kernelc`.
 
-OP2 is not an interpreter — a source-to-source translator turns every
-``op_par_loop`` call site into a *specialized* stub (paper Fig 2b) with
-the argument handling unrolled: indirection indices become named locals,
-pointer arithmetic is inlined, conditionals and loops over the argument
-list disappear.  Section 5 credits exactly this specialization (replacing
-the generic function-pointer dispatcher) with enabling the compiler
-optimizations their baseline numbers rely on.
-
-This module reproduces that mechanism in Python: :func:`generate_loop_source`
-emits the text of a specialized loop function for one loop *shape*
-(iteration set + argument descriptors), :func:`compile_loop` ``exec``-s it,
-and :class:`CodegenBackend` caches the compiled stubs per shape — the same
-generate-once / run-many structure as OP2's build flow, with the generated
-source inspectable for tests and the curious.
-
-The generator covers the argument forms of Fig 2b (direct, single-slot
-indirect, READ vector arguments and global reductions); loops outside
-that subset (e.g. vector INC arguments) fall back to the generic
-interpreter path, mirroring OP2's own fallback for unsupported shapes.
+``core/codegen.py`` was promoted into the kernel-compilation package:
+the specialized scalar stub emitter now lives in
+:mod:`repro.kernelc.scalar` (next to the kernel IR and the batched
+vector emitter) and the executing backend in
+:mod:`repro.backends.codegen`.  This module re-exports the public names
+so existing imports (``from repro.core import compile_loop``,
+``from repro.core.codegen import loop_shape_key``) keep working.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Sequence, Tuple
+from ..backends.codegen import CodegenBackend
+from ..kernelc.scalar import (
+    compile_loop,
+    generate_loop_source,
+    loop_shape_key,
+    supports,
+)
 
-import numpy as np
-
-from ..backends.base import Backend, run_scalar_element
-from .access import Access, Arg
-
-
-def loop_shape_key(kernel_name: str, args: Sequence[Arg]) -> Tuple:
-    """Hashable description of a loop's argument structure."""
-    shape = []
-    for arg in args:
-        if arg.is_global:
-            shape.append(("gbl", arg.dat.dim, arg.access.name))
-        else:
-            shape.append(
-                (
-                    "dat",
-                    arg.dat.dim,
-                    arg.index,
-                    arg.map.arity if arg.map is not None else 0,
-                    arg.access.name,
-                )
-            )
-    return (kernel_name,) + tuple(shape)
-
-
-def supports(args: Sequence[Arg]) -> bool:
-    """Can a specialized stub be generated for this argument list?"""
-    for arg in args:
-        if arg.is_vector and arg.access is not Access.READ:
-            return False  # writing vector args need writeback machinery
-    return True
-
-
-def generate_loop_source(kernel_name: str, args: Sequence[Arg]) -> str:
-    """Emit the specialized stub's source (the Fig 2b transformation).
-
-    The generated function has signature::
-
-        op_par_loop_<kernel>(start, end, user_kernel, data, maps, red)
-
-    where ``data[i]`` is argument *i*'s array, ``maps[i]`` its map values
-    (or None) and ``red[i]`` its reduction accumulator (globals only).
-    """
-    name = f"op_par_loop_{kernel_name}"
-    lines = [
-        f"def {name}(start, end, user_kernel, data, maps, red):",
-        '    """Generated specialized stub — do not edit by hand."""',
-    ]
-    # Hoist every per-argument lookup out of the element loop.
-    call_operands = []
-    for i, arg in enumerate(args):
-        if arg.is_global:
-            if arg.access.is_reduction:
-                lines.append(f"    arg{i} = red[{i}]")
-            else:
-                lines.append(f"    arg{i} = data[{i}]")
-            call_operands.append(f"arg{i}")
-        elif arg.is_direct:
-            lines.append(f"    dat{i} = data[{i}]")
-            call_operands.append(f"dat{i}[n]")
-        elif arg.is_vector:
-            lines.append(f"    dat{i} = data[{i}]")
-            lines.append(f"    map{i} = maps[{i}]")
-            call_operands.append(f"dat{i}[map{i}[n]]")
-        else:
-            lines.append(f"    dat{i} = data[{i}]")
-            lines.append(f"    map{i}_col = maps[{i}][:, {arg.index}]")
-            call_operands.append(f"dat{i}[map{i}_col[n]]")
-    lines.append("    for n in range(start, end):")
-    lines.append(f"        user_kernel({', '.join(call_operands)})")
-    return "\n".join(lines) + "\n"
-
-
-def compile_loop(kernel_name: str, args: Sequence[Arg]) -> Callable:
-    """Compile the generated stub and return the callable."""
-    source = generate_loop_source(kernel_name, args)
-    namespace: Dict[str, object] = {}
-    exec(compile(source, f"<generated op_par_loop_{kernel_name}>", "exec"),
-         namespace)
-    fn = namespace[f"op_par_loop_{kernel_name}"]
-    fn.__source__ = source  # type: ignore[attr-defined]
-    return fn
-
-
-class CodegenBackend(Backend):
-    """Scalar backend running generated specialized stubs.
-
-    Semantically identical to :class:`SequentialBackend` (element order,
-    single process, no races); the specialization removes the generic
-    per-element argument dispatch, exactly as OP2's generated pure-MPI
-    stub removes its function-pointer dispatcher.
-    """
-
-    name = "codegen"
-
-    def __init__(self) -> None:
-        super().__init__()
-        self._compiled: Dict[Tuple, Callable] = {}
-        self.generated = 0
-
-    def stub_for(self, kernel, args: Sequence[Arg]) -> Optional[Callable]:
-        if not supports(args):
-            return None
-        key = loop_shape_key(kernel.name, args)
-        fn = self._compiled.get(key)
-        if fn is None:
-            fn = compile_loop(kernel.name, args)
-            self._compiled[key] = fn
-            self.generated += 1
-        return fn
-
-    def _run(self, kernel, set_, args, plan, n, reductions, start=0) -> None:
-        stub = self.stub_for(kernel, args)
-        if stub is None:
-            # Unsupported shape: generic interpreter fallback.
-            for e in range(start, n):
-                run_scalar_element(kernel.scalar, args, e, reductions)
-            return
-        data = [arg.dat.data for arg in args]
-        maps = [
-            arg.map.values if arg.map is not None else None for arg in args
-        ]
-        stub(start, n, kernel.scalar, data, maps, reductions)
-
-    def tiled_profile(self, compiled) -> str:
-        # The generated stubs sweep [start, n) in ascending element
-        # order with per-element operations identical to the generic
-        # interpreter's, so the generic tiled executor replays the
-        # same sequence.
-        return "ascending"
+__all__ = [
+    "CodegenBackend",
+    "compile_loop",
+    "generate_loop_source",
+    "loop_shape_key",
+    "supports",
+]

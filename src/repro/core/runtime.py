@@ -6,7 +6,7 @@ backend chosen at build/run time; here the same separation is a runtime
 case (serial experimentation) zero-ceremony, while benchmarks construct
 isolated runtimes per configuration.
 
-Three cache levels keep steady-state execution cheap:
+Four cache levels keep steady-state execution cheap:
 
 1. the structural :class:`~repro.core.plan.PlanCache` (coloring reused by
    every loop with the same racing access structure),
@@ -19,9 +19,13 @@ Three cache levels keep steady-state execution cheap:
 3. a **chain cache** keyed by the structural signature of a whole
    recorded loop sequence (:mod:`repro.core.chain`): a steady-state
    time step traced with ``with runtime.chain():`` replays a
-   pre-analyzed, pre-fused schedule with zero re-analysis.
+   pre-analyzed, pre-fused schedule with zero re-analysis; and
+4. the **kernel-compilation cache** (:mod:`repro.kernelc`): generated
+   batched kernels memoized per (kernel, argument shape), so each
+   kernel's vector form is derived from its scalar source exactly once
+   per shape for the whole process.
 
-All three are LRU-bounded (configurable ``*_entries`` knobs) so
+All of them are LRU-bounded (configurable ``*_entries`` knobs) so
 long-running processes cannot grow them without bound;
 :meth:`Runtime.stats` exposes the hit/miss/eviction counters.
 """
@@ -33,13 +37,13 @@ from typing import Dict, Optional, Sequence, Tuple
 
 from ..backends.autovec import AutoVecBackend
 from ..backends.base import Backend
+from ..backends.codegen import CodegenBackend
 from ..backends.openmp import OpenMPBackend
 from ..backends.sequential import SequentialBackend
 from ..backends.simt import SIMTBackend
 from ..backends.vectorized import VectorizedBackend
 from .access import Arg
 from .chain import CompiledChain, LoopChain, LoopSpec, compile_chain
-from .codegen import CodegenBackend
 from .dat import _check_layout
 from .kernel import Kernel
 from .plan import (
@@ -258,10 +262,13 @@ class Runtime:
         per-kernel timings.
 
         Cache counters cover hits, misses, evictions and current sizes
-        of the loop cache, the structural plan cache and the compiled
-        chain cache — the observability surface for long-running
-        processes (are my caches sized right? is steady state hitting?).
+        of the loop cache, the structural plan cache, the compiled
+        chain cache and the kernel-compilation cache — the
+        observability surface for long-running processes (are my caches
+        sized right? is steady state hitting?).
         """
+        from ..kernelc import cache_stats
+
         return {
             "loop_cache": {
                 "hits": self.loop_cache_hits,
@@ -284,6 +291,9 @@ class Runtime:
                 "entries": len(self._chains),
                 "max_entries": self.chain_cache_entries,
             },
+            # Kernel-compilation cache (repro.kernelc): process-wide,
+            # since generated kernels depend only on (kernel, shape).
+            "kernelc_cache": cache_stats(),
             "kernels": dict(self.backend.stats),
         }
 

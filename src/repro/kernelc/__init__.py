@@ -1,0 +1,68 @@
+"""kernelc — the kernel-compilation subsystem (IR + two emitters).
+
+The paper's central mechanism is a code generator that turns one
+high-level kernel into specialized scalar *and* vectorized
+implementations (Fig 2b's generated stubs; Section 4's cross-element
+SIMD kernels).  This package is that generator:
+
+``ir``
+    :func:`parse_kernel` reads a scalar Python kernel with :mod:`ast`
+    and lowers it into a small validated IR (straight-line statements,
+    per-argument loads/stores, branches, bounded ``range`` loops).
+``scalar``
+    The specialized per-shape *loop stub* emitter (promoted from
+    ``core/codegen.py``), covering direct, indirect, vector — including
+    vector INC — and global-reduction arguments.
+``vector``
+    The batched-kernel emitter: one NumPy function over ``(lanes, dim)``
+    gathered blocks per argument-shape signature, branches lowered to
+    ``select`` masks, results bitwise identical to the scalar form.
+``cache``
+    The per-shape compile cache (the runtime's fourth cache kind,
+    surfaced in :meth:`Runtime.stats`).
+
+Applications write **only scalar kernels**; every batched backend
+requests the generated vector form through
+:meth:`repro.core.kernel.Kernel.vector_for`.
+"""
+
+from .cache import (
+    DEFAULT_KERNELC_CACHE_ENTRIES,
+    GLOBAL_CACHE,
+    KernelCompileCache,
+    batched_flags,
+    cache_stats,
+    clear_cache,
+    kernel_ir,
+    param_shapes,
+    vector_kernel_for,
+    vector_source_for,
+    vectorizable,
+)
+from .ir import KernelIR, UnvectorizableKernel, parse_kernel
+from .scalar import compile_loop, generate_loop_source, loop_shape_key, supports
+from .vector import VectorEmitter, compile_vector, emit_vector_source
+
+__all__ = [
+    "DEFAULT_KERNELC_CACHE_ENTRIES",
+    "GLOBAL_CACHE",
+    "KernelCompileCache",
+    "KernelIR",
+    "UnvectorizableKernel",
+    "VectorEmitter",
+    "batched_flags",
+    "cache_stats",
+    "clear_cache",
+    "compile_loop",
+    "compile_vector",
+    "emit_vector_source",
+    "generate_loop_source",
+    "kernel_ir",
+    "loop_shape_key",
+    "param_shapes",
+    "parse_kernel",
+    "supports",
+    "vector_kernel_for",
+    "vector_source_for",
+    "vectorizable",
+]

@@ -20,6 +20,13 @@ def mesh():
     return make_airfoil_mesh(20, 10)
 
 
+def _generated_vector(kernel, nargs):
+    """kernelc-generated batched form with every parameter lane-batched."""
+    from repro.kernelc import compile_vector, kernel_ir
+
+    return compile_vector(kernel_ir(kernel), [True] * nargs)
+
+
 class TestKernels:
     def test_metadata_matches_table2(self):
         ks = make_kernels()
@@ -50,11 +57,12 @@ class TestKernels:
         adt_v = np.zeros((n, 1))
         for i in range(n):
             ks["adt_calc"].scalar(x[i], q[i], adt_s[i])
-        ks["adt_calc"].vector(x, q, adt_v)
+        _generated_vector(ks["adt_calc"], 3)(x, q, adt_v)
         np.testing.assert_allclose(adt_v, adt_s, rtol=1e-14)
 
-    def test_bres_select_equals_branch(self, rng):
-        # The select() rewrite must agree with the scalar branch exactly.
+    def test_bres_mask_lowering_equals_branch(self, rng):
+        # The emitter's mask lowering must agree with the scalar branch
+        # exactly (the Section 4.2 rewrite, performed automatically).
         ks = make_kernels()
         n = 12
         x1 = rng.random((n, 2))
@@ -68,7 +76,7 @@ class TestKernels:
         for i in range(n):
             ks["bres_calc"].scalar(x1[i], x2[i], q[i], adt[i],
                                    res_s[i], bound[i])
-        ks["bres_calc"].vector(x1, x2, q, adt, res_v, bound)
+        _generated_vector(ks["bres_calc"], 6)(x1, x2, q, adt, res_v, bound)
         np.testing.assert_allclose(res_v, res_s, rtol=1e-13, atol=1e-15)
 
 

@@ -75,10 +75,36 @@ class TestGeneratedSource:
         keys = {loop_shape_key("k", a) for a in (a1, a2, a3)}
         assert len(keys) == 3
 
-    def test_supports_rejects_vector_writes(self, problem):
+    def test_supports_vector_args(self, problem):
+        # Vector READ and INC arguments both get specialized stubs now;
+        # every other writing vector access (WRITE/RW/MIN/MAX) still
+        # falls back to the generic interpreter, whose gathered-copy
+        # writeback machinery the stub does not replicate.
+        from repro.core import MAX, MIN, RW, WRITE
+
         nodes, edges, m, w, x = problem
         assert supports([arg_dat(x, IDX_ALL, m, READ)])
-        assert not supports([arg_dat(x, IDX_ALL, m, INC)])
+        assert supports([arg_dat(x, IDX_ALL, m, INC)])
+        assert not supports([arg_dat(x, IDX_ALL, m, RW)])
+        assert not supports([arg_dat(x, IDX_ALL, m, WRITE)])
+        assert not supports([arg_dat(x, IDX_ALL, m, MIN)])
+        assert not supports([arg_dat(x, IDX_ALL, m, MAX)])
+
+    def test_vector_inc_stub_structure(self, problem):
+        nodes, edges, m, w, x = problem
+        acc = Dat(nodes, 2)
+        args = [
+            arg_dat(w, IDX_ID, None, READ),
+            arg_dat(acc, IDX_ALL, m, INC),
+        ]
+        src = generate_loop_source("vinc", args)
+        # Hoisted private accumulator, zeroed per element, applied with
+        # np.add.at after the call — the generic interpreter's exact
+        # operation sequence, specialized.
+        assert "buf1 = np.zeros((2, 2), dat1.dtype)" in src
+        assert "buf1[...] = 0.0" in src
+        assert "user_kernel(dat0[n], buf1)" in src
+        assert "np.add.at(dat1, map1[n], buf1)" in src
 
 
 class TestCodegenExecution:
@@ -126,20 +152,46 @@ class TestCodegenExecution:
         expect = x.data[m.values[:, 0], 0] + x.data[m.values[:, 1], 1]
         np.testing.assert_allclose(out.data.ravel(), expect)
 
-    def test_fallback_for_vector_inc(self, problem):
+    def test_vector_inc_stub_matches_sequential(self, problem):
         nodes, edges, m, w, x = problem
-        acc = Dat(nodes, 2)
 
         @kernel("cg_vinc")
         def cg_vinc(ww, outs):
             outs[0][0] += ww[0]
             outs[1][1] += ww[0]
 
-        rt = Runtime("codegen")
-        par_loop(cg_vinc, edges, arg_dat(w, IDX_ID, None, READ),
-                 arg_dat(acc, IDX_ALL, m, INC), runtime=rt)
+        def run(bk):
+            acc = Dat(nodes, 2, name="acc")
+            rt = Runtime(bk)
+            par_loop(cg_vinc, edges, arg_dat(w, IDX_ID, None, READ),
+                     arg_dat(acc, IDX_ALL, m, INC), runtime=rt)
+            return rt, acc.data.copy()
+
+        rt, got = run("codegen")
+        assert rt.backend.generated == 1  # specialized stub, no fallback
+        _, ref = run("sequential")
+        np.testing.assert_array_equal(got, ref)
+        assert got.sum() == pytest.approx(2 * w.data.sum())
+
+    def test_fallback_for_vector_rw(self, problem):
+        nodes, edges, m, w, x = problem
+        from repro.core import RW
+
+        @kernel("cg_vrw")
+        def cg_vrw(outs):
+            outs[0][0] = outs[0][0] + 1.0
+            outs[1][1] = outs[1][1] + 1.0
+
+        def run(bk):
+            acc = Dat(nodes, 2, name="acc")
+            rt = Runtime(bk)
+            par_loop(cg_vrw, edges, arg_dat(acc, IDX_ALL, m, RW), runtime=rt)
+            return rt, acc.data.copy()
+
+        rt, got = run("codegen")
         assert rt.backend.generated == 0  # interpreter fallback used
-        assert acc.data.sum() == pytest.approx(2 * w.data.sum())
+        _, ref = run("sequential")
+        np.testing.assert_array_equal(got, ref)
 
     def test_stub_cache_reused(self, problem):
         nodes, edges, m, w, x = problem

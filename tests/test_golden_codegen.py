@@ -1,0 +1,139 @@
+"""Golden-source snapshots for both kernelc emitters.
+
+Every generated artifact — the specialized scalar loop stubs and the
+batched vector kernels for the Airfoil and Volna loop shapes — is
+snapshotted as text under ``tests/golden/`` and diffed in CI, so any
+codegen change shows up as a reviewable source diff rather than as an
+opaque behavioural shift.
+
+Regenerate intentionally changed snapshots with::
+
+    REGEN_GOLDEN=1 python -m pytest tests/test_golden_codegen.py
+"""
+
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import INC, MIN, READ, RW, WRITE, Dat, Global, Map, Set
+from repro.core.access import IDX_ALL, IDX_ID, arg_dat, arg_gbl
+from repro.kernelc import emit_vector_source, generate_loop_source, kernel_ir
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def _assert_golden(name: str, source: str) -> None:
+    path = GOLDEN_DIR / name
+    if os.environ.get("REGEN_GOLDEN"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(source)
+        return
+    assert path.exists(), (
+        f"golden snapshot {name} missing; regenerate with "
+        f"REGEN_GOLDEN=1 python -m pytest tests/test_golden_codegen.py"
+    )
+    assert source == path.read_text(), (
+        f"generated source for {name} drifted from tests/golden/{name}; "
+        f"if intentional, regenerate with REGEN_GOLDEN=1"
+    )
+
+
+# ----------------------------------------------------------------------
+# Vector emitter snapshots: one per app kernel, at the driver's shapes.
+# ----------------------------------------------------------------------
+AIRFOIL_SHAPES = {
+    "save_soln": [(True, 4), (True, 4)],
+    "adt_calc": [(True, None), (True, 4), (True, 1)],
+    "res_calc": [(True, 2), (True, 2), (True, 4), (True, 4), (True, 1),
+                 (True, 1), (True, 4), (True, 4)],
+    "bres_calc": [(True, 2), (True, 2), (True, 4), (True, 1), (True, 4),
+                  (True, 1)],
+    "update": [(True, 4), (True, 4), (True, 4), (True, 1), (True, 1)],
+}
+
+VOLNA_SHAPES = {
+    "compute_flux": [(True, 4), (True, 4), (True, 4), (True, 4), (True, 2)],
+    "numerical_flux": [(True, 1), (True, None), (True, 4), (True, 1)],
+    "space_disc": [(True, 4), (True, 4), (True, 4), (True, 4), (True, 1),
+                   (True, 1), (True, 4), (True, 4)],
+    "RK_1": [(True, 4), (True, 4), (True, 4), (True, 4), (False, None)],
+    "RK_2": [(True, 4), (True, 4), (True, 4), (True, 4), (False, None)],
+    "sim_1": [(True, 4), (True, 4)],
+}
+
+
+class TestVectorGolden:
+    @pytest.mark.parametrize("name", sorted(AIRFOIL_SHAPES))
+    def test_airfoil(self, name):
+        from repro.apps.airfoil.kernels import make_kernels
+
+        source = emit_vector_source(
+            kernel_ir(make_kernels()[name]), AIRFOIL_SHAPES[name]
+        )
+        _assert_golden(f"vec_airfoil_{name}.py.txt", source)
+
+    @pytest.mark.parametrize("name", sorted(VOLNA_SHAPES))
+    def test_volna(self, name):
+        from repro.apps.volna.kernels import make_kernels
+
+        source = emit_vector_source(
+            kernel_ir(make_kernels()[name]), VOLNA_SHAPES[name]
+        )
+        _assert_golden(f"vec_volna_{name}.py.txt", source)
+
+
+# ----------------------------------------------------------------------
+# Scalar stub snapshots: the Fig 2b argument forms.
+# ----------------------------------------------------------------------
+class TestStubGolden:
+    @pytest.fixture
+    def problem(self):
+        nodes = Set(8, "nodes")
+        edges = Set(10, "edges")
+        conn = np.zeros((10, 2), dtype=np.int64)
+        m = Map(edges, nodes, 2, conn, "m")
+        w = Dat(edges, 1, name="w")
+        x = Dat(nodes, 2, name="x")
+        return nodes, edges, m, w, x
+
+    def test_indirect_inc_stub(self, problem):
+        nodes, edges, m, w, x = problem
+        acc = Dat(nodes, 4, name="acc")
+        args = [
+            arg_dat(w, IDX_ID, None, READ),
+            arg_dat(x, 0, m, READ),
+            arg_dat(x, 1, m, READ),
+            arg_dat(acc, 0, m, INC),
+            arg_dat(acc, 1, m, INC),
+        ]
+        _assert_golden(
+            "stub_indirect_inc.py.txt", generate_loop_source("res_calc", args)
+        )
+
+    def test_vector_inc_stub(self, problem):
+        nodes, edges, m, w, x = problem
+        acc = Dat(nodes, 2, name="acc")
+        args = [
+            arg_dat(w, IDX_ID, None, READ),
+            arg_dat(acc, IDX_ALL, m, INC),
+        ]
+        _assert_golden(
+            "stub_vector_inc.py.txt", generate_loop_source("scatter_all", args)
+        )
+
+    def test_vector_read_and_reduction_stub(self, problem):
+        nodes, edges, m, w, x = problem
+        g = Global(1, name="dt")
+        out = Dat(edges, 4, name="out")
+        args = [
+            arg_dat(x, IDX_ALL, m, READ),
+            arg_dat(out, IDX_ID, None, WRITE),
+            arg_dat(out, IDX_ID, None, RW),
+            arg_gbl(g, MIN),
+        ]
+        _assert_golden(
+            "stub_vector_read_reduction.py.txt",
+            generate_loop_source("numerical_flux", args),
+        )

@@ -152,7 +152,10 @@ class TestKernelAPI:
         assert meta.info.transcendentals == 2
         assert meta.info.description == "demo"
         assert not meta.vectorizable_simt
-        assert not meta.has_vector_form
+        # The batched form is *derived* from the scalar source now
+        # (repro.kernelc); no hand-written vector form is attached.
+        assert meta.vector is None
+        assert meta.has_vector_form
 
         @meta.vectorized
         def meta_vec(x):
@@ -160,6 +163,16 @@ class TestKernelAPI:
 
         assert meta.has_vector_form
         assert meta.vector is meta_vec
+
+    def test_has_vector_form_tracks_vectorizability(self):
+        # Kernels outside the kernelc IR subset have no derivable
+        # batched form and report has_vector_form=False.
+        @kernel("opaque")
+        def opaque(x):
+            while x[0] > 0.0:  # data-dependent loop: not vectorizable
+                x[0] -= 1.0
+
+        assert not opaque.has_vector_form
 
 
 class TestTimingReport:

@@ -166,7 +166,12 @@ class TestKernelForms:
         sv = np.zeros((n, 2))
         for i in range(n):
             ks["compute_flux"].scalar(geom[i], q0[i], q1[i], fs[i], ss[i])
-        ks["compute_flux"].vector(geom, q0, q1, fv, sv)
+        from repro.kernelc import compile_vector, kernel_ir
+
+        compute_flux_vec = compile_vector(
+            kernel_ir(ks["compute_flux"]), [True] * 5
+        )
+        compute_flux_vec(geom, q0, q1, fv, sv)
         np.testing.assert_allclose(fv, fs, rtol=1e-12, atol=1e-12)
         np.testing.assert_allclose(sv, ss, rtol=1e-12)
 
