@@ -4,8 +4,6 @@ Each figure's assertions encode the qualitative claims the paper draws
 from it — who wins, by roughly what factor, where the crossovers fall.
 """
 
-import numpy as np
-
 from repro.bench import paper_data
 from repro.bench.figures import (
     FIG8B_BLOCK_SIZES,

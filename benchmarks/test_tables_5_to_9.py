@@ -5,9 +5,6 @@ within a tolerance band of the published measurements, bottleneck
 classifications, and the relative-performance orderings of Table IX.
 """
 
-import pytest
-
-from repro.bench import paper_data
 from repro.bench.tables import table5, table6, table7, table8, table9
 
 from conftest import save_and_print

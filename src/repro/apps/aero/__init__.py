@@ -1,0 +1,14 @@
+"""Aero: nonlinear potential-flow FEM + CG — the sparse-matrix workload."""
+
+from .constants import DEFAULT_CONSTANTS, AeroConstants
+from .driver import AeroResult, AeroSim, AeroState
+from .kernels import make_kernels
+
+__all__ = [
+    "AeroConstants",
+    "AeroResult",
+    "AeroSim",
+    "AeroState",
+    "DEFAULT_CONSTANTS",
+    "make_kernels",
+]

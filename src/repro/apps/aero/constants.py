@@ -1,0 +1,43 @@
+"""Aero flow constants: compressible potential flow around the O-mesh body.
+
+The nondimensionalization fixes the free-stream speed at 1, so the
+density law reduces to the standard isentropic relation
+``rho = (1 + (gam-1)/2 * M_inf^2 * (1 - |grad phi|^2)) ** (1/(gam-1))``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AeroConstants:
+    """Flow configuration of the potential-flow solve."""
+
+    #: Free-stream Mach number (0 recovers incompressible Laplace flow).
+    mach: float = 0.4
+    #: Angle of attack in degrees.
+    aoa_deg: float = 3.0
+    #: Ratio of specific heats.
+    gam: float = 1.4
+    #: Density clamp keeping the isentropic base positive when a Picard
+    #: iterate overshoots locally (supercritical pockets).
+    rho_min: float = 0.05
+
+    @property
+    def gm1(self) -> float:
+        return self.gam - 1.0
+
+    @property
+    def aoa(self) -> float:
+        """Angle of attack in radians."""
+        return math.radians(self.aoa_deg)
+
+    @property
+    def direction(self) -> tuple[float, float]:
+        """Unit free-stream direction ``(cos aoa, sin aoa)``."""
+        return (math.cos(self.aoa), math.sin(self.aoa))
+
+
+DEFAULT_CONSTANTS = AeroConstants()

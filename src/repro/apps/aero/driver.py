@@ -1,0 +1,300 @@
+"""Aero application driver: nonlinear potential flow by FEM + CG.
+
+The third canonical OP2-family workload (next to Airfoil and Volna):
+where the finite-volume apps stream edge fluxes, aero *assembles a
+sparse operator* — each Picard iteration evaluates the isentropic
+density from the current potential, assembles the density-weighted
+stiffness matrix through a :class:`~repro.core.mat.Mat` argument,
+builds the Dirichlet-lifted right-hand side, and solves the linear
+system with the par_loop conjugate-gradient solver
+(:mod:`repro.solve`).
+
+One Picard iteration (= one :meth:`AeroSim.step`)::
+
+    rho_calc   cells  phi -> rho            (gather, direct write)
+    res_calc   cells  x, rho -> Mat(INC)    (element -> matrix scatter)
+    assemble   host   staged -> CSR         (canonical fold, Mat.assemble)
+    spmv       nodes  K lift -> kg          (padded-row gather SpMV)
+    rhs_calc   nodes  kg, lift, bc -> b
+    dirichlet  host   K rows/cols -> identity
+    cg         nodes  ~10-100 solver loops  (repro.solve.cg)
+
+Everything mesh-sized is a parallel loop; the two host steps are the
+deterministic folds that make the assembled CSR and the solution
+*bitwise identical* across every backend, data layout and execution
+mode ({eager, chained, tiled}) — the aero acceptance property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ...core import (
+    IDX_ALL,
+    IDX_ID,
+    INC,
+    READ,
+    RW,
+    WRITE,
+    Dat,
+    Mat,
+    Runtime,
+    arg_dat,
+    arg_mat,
+    dat_layout,
+    par_loop,
+)
+from ...mesh import UnstructuredMesh, make_airfoil_mesh
+from ...solve import CGResult, MatOperator, cg
+from .constants import AeroConstants, DEFAULT_CONSTANTS
+from .kernels import make_kernels
+
+
+@dataclass
+class AeroState:
+    """All Dats (and the Mat) of one aero problem instance."""
+
+    p_x: Dat
+    p_phi: Dat
+    p_rho: Dat
+    p_lift: Dat
+    p_bc: Dat
+    p_kg: Dat
+    p_b: Dat
+    mat: Mat = field(default=None)  # type: ignore[assignment]
+
+
+class AeroSim:
+    """Nonlinear 2-D potential-flow FEM solver on the airfoil O-mesh.
+
+    Parameters
+    ----------
+    mesh:
+        An airfoil-style quad mesh (defaults to a small generated
+        O-mesh).  Far-field boundary nodes (``bound == 2`` bedges)
+        carry the Dirichlet data; the wall is a natural (zero normal
+        flow) boundary.
+    dtype:
+        ``np.float64`` or ``np.float32``.
+    runtime:
+        Execution configuration; module default when omitted.  The
+        state (including the matrix staging) allocates under the
+        runtime's preferred data layout.
+    constants:
+        Flow configuration (Mach, angle of attack, gamma).
+    chained:
+        ``True`` (default) traces the assembly phase and each CG
+        iteration as deferred loop chains; ``False`` dispatches every
+        ``par_loop`` eagerly.  Bitwise identical either way.
+    tiling:
+        Sparse-tiling request forwarded to ``runtime.chain(tiling=...)``
+        (requires ``chained=True``); bitwise identical too.
+    cg_tol, cg_maxiter:
+        Linear-solve controls for each Picard iteration.
+    """
+
+    def __init__(
+        self,
+        mesh: Optional[UnstructuredMesh] = None,
+        dtype=np.float64,
+        runtime: Optional[Runtime] = None,
+        constants: AeroConstants = DEFAULT_CONSTANTS,
+        chained: bool = True,
+        tiling=None,
+        cg_tol: float = 1e-10,
+        cg_maxiter: int = 200,
+    ) -> None:
+        self.mesh = mesh if mesh is not None else make_airfoil_mesh(24, 12)
+        self.dtype = np.dtype(dtype)
+        self.runtime = runtime
+        self.constants = constants
+        self.chained = bool(chained)
+        if tiling is not None and not self.chained:
+            raise ValueError(
+                "tiling requires chained=True (sparse tiling lowers a "
+                "traced loop chain; eager dispatch has no chain to tile)"
+            )
+        self.tiling = tiling
+        self.cg_tol = float(cg_tol)
+        self.cg_maxiter = int(cg_maxiter)
+        self.kernels: Dict[str, object] = make_kernels(constants)
+        self.state = self._init_state()
+        #: Padded-row SpMV operator over the assembled matrix (built
+        #: once — the sparsity is pure connectivity).
+        self.operator = MatOperator(self.state.mat)
+        self.kernels["spmv"] = self.operator.kernel
+        self.cg_results: List[CGResult] = []
+        self.delta_history: List[float] = []
+        self.iterations_run = 0
+
+    def _runtime(self) -> Runtime:
+        from ...core.runtime import default_runtime
+
+        return self.runtime if self.runtime is not None else default_runtime()
+
+    # ------------------------------------------------------------------
+    def _init_state(self) -> AeroState:
+        m = self.mesh
+        dx, dy = self.constants.direction
+        #: Far-field (Dirichlet) node mask from the boundary-edge flags.
+        bc_mask = np.zeros(m.nodes.size, dtype=bool)
+        far = m.meta["bound"] == 2
+        bc_mask[np.unique(m.map("bedge2node").values[far])] = True
+        self.bc_mask = bc_mask
+        # Free-stream potential: the Dirichlet data on far-field nodes
+        # and the initial guess everywhere.
+        phi_inf = m.coords[:, 0] * dx + m.coords[:, 1] * dy
+        lift = np.where(bc_mask, phi_inf, 0.0)
+        with dat_layout(getattr(self.runtime, "layout", None)):
+            state = AeroState(
+                p_x=Dat(m.nodes, 2, m.coords, self.dtype, name="p_x"),
+                p_phi=Dat(m.nodes, 1, phi_inf, self.dtype, name="p_phi"),
+                p_rho=Dat(m.cells, 1, 1.0, self.dtype, name="p_rho"),
+                p_lift=Dat(m.nodes, 1, lift, self.dtype, name="p_lift"),
+                p_bc=Dat(
+                    m.nodes, 1, bc_mask.astype(float), self.dtype,
+                    name="p_bc",
+                ),
+                p_kg=Dat(m.nodes, 1, dtype=self.dtype, name="p_kg"),
+                p_b=Dat(m.nodes, 1, dtype=self.dtype, name="p_b"),
+            )
+            c2n = m.map("cell2node")
+            state.mat = Mat(c2n, c2n, dtype=self.dtype, name="K")
+        return state
+
+    # ------------------------------------------------------------------
+    def _loop_args(self) -> Dict[str, tuple]:
+        """The aero parallel-loop signatures (set, args...), memoized."""
+        cached = getattr(self, "_loop_args_cache", None)
+        if cached is not None:
+            return cached
+        m, s = self.mesh, self.state
+        c2n = m.map("cell2node")
+        self._loop_args_cache = {
+            "rho_calc": (
+                m.cells,
+                arg_dat(s.p_x, IDX_ALL, c2n, READ),
+                arg_dat(s.p_phi, IDX_ALL, c2n, READ),
+                arg_dat(s.p_rho, IDX_ID, None, WRITE),
+            ),
+            "res_calc": (
+                m.cells,
+                arg_dat(s.p_x, IDX_ALL, c2n, READ),
+                arg_dat(s.p_rho, IDX_ID, None, READ),
+                arg_mat(s.mat, INC),
+            ),
+            "rhs_calc": (
+                m.nodes,
+                arg_dat(s.p_kg, IDX_ID, None, READ),
+                arg_dat(s.p_lift, IDX_ID, None, READ),
+                arg_dat(s.p_bc, IDX_ID, None, READ),
+                arg_dat(s.p_b, IDX_ID, None, WRITE),
+            ),
+            "apply_bc": (
+                m.nodes,
+                arg_dat(s.p_lift, IDX_ID, None, READ),
+                arg_dat(s.p_bc, IDX_ID, None, READ),
+                arg_dat(s.p_phi, IDX_ID, None, RW),
+            ),
+        }
+        return self._loop_args_cache
+
+    def _run_loop(self, name: str) -> None:
+        set_, *args = self._loop_args()[name]
+        par_loop(self.kernels[name], set_, *args, runtime=self.runtime)
+
+    # ------------------------------------------------------------------
+    def _assemble_system(self) -> None:
+        """Density, stiffness, RHS — the pre-solve half of one step.
+
+        The host folds inside (``Mat.assemble``, ``set_dirichlet``) read
+        the Dats they depend on, which flushes any pending chain at
+        exactly the right points.
+        """
+        s = self.state
+        self._run_loop("rho_calc")
+        s.mat.zero()
+        self._run_loop("res_calc")
+        s.mat.assemble()
+        # RHS from the Dirichlet lift *before* the rows/cols are
+        # eliminated: b_free = -(K g)_free, b_bc = g.
+        self.operator.apply(s.p_lift, s.p_kg, runtime=self.runtime)
+        self._run_loop("rhs_calc")
+        s.mat.set_dirichlet(self.bc_mask)
+        self._run_loop("apply_bc")
+
+    def step(self) -> float:
+        """One Picard iteration; returns ``max |phi_new - phi_old|``."""
+        rt = self._runtime()
+        s = self.state
+        phi_old = s.p_phi.data[: self.mesh.nodes.size, 0].copy()
+        if self.chained:
+            with rt.chain(tiling=self.tiling):
+                self._assemble_system()
+        else:
+            self._assemble_system()
+        result = cg(
+            self.operator, s.p_b, s.p_phi, runtime=self.runtime,
+            tol=self.cg_tol, maxiter=self.cg_maxiter,
+            chained=self.chained, tiling=self.tiling,
+        )
+        self.cg_results.append(result)
+        delta = float(
+            np.max(np.abs(s.p_phi.data[: self.mesh.nodes.size, 0] - phi_old))
+        )
+        self.delta_history.append(delta)
+        self.iterations_run += 1
+        return delta
+
+    def run(self, niter: int) -> float:
+        """Run ``niter`` Picard iterations; returns the final delta."""
+        delta = float("nan")
+        for _ in range(niter):
+            delta = self.step()
+        return delta
+
+    def solve(
+        self, picard: int = 3, delta_tol: float = 0.0
+    ) -> "AeroResult":
+        """Run Picard iterations until ``delta <= delta_tol`` (or the
+        iteration budget runs out); returns the convergence record."""
+        delta = float("inf")
+        for _ in range(picard):
+            delta = self.step()
+            if delta <= delta_tol:
+                break
+        return AeroResult(
+            picard_iterations=self.iterations_run,
+            delta=delta,
+            cg_results=list(self.cg_results),
+            residual=self.cg_results[-1].residual if self.cg_results
+            else float("nan"),
+            converged=bool(
+                self.cg_results and self.cg_results[-1].converged
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def phi(self) -> np.ndarray:
+        """Current velocity potential, ``(n_nodes,)``."""
+        return self.state.p_phi.data[: self.mesh.nodes.size, 0]
+
+    @property
+    def rho(self) -> np.ndarray:
+        """Current cell density, ``(n_cells,)``."""
+        return self.state.p_rho.data[: self.mesh.cells.size, 0]
+
+
+@dataclass
+class AeroResult:
+    """Convergence record of one :meth:`AeroSim.solve`."""
+
+    picard_iterations: int
+    delta: float
+    cg_results: List[CGResult]
+    residual: float
+    converged: bool

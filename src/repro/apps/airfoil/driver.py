@@ -302,9 +302,10 @@ class DistributedAirfoilSim:
     def _step_body(self) -> float:
         loops = self.serial._loop_args()
         kernels = self.serial.kernels
-        run = lambda name: self.ctx.par_loop(
-            kernels[name], loops[name][0], *loops[name][1:]
-        )
+        def run(name):
+            self.ctx.par_loop(
+                kernels[name], loops[name][0], *loops[name][1:]
+            )
         run("save_soln")
         self.serial.state.rms.value = 0.0
         for _ in range(2):

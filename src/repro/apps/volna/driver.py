@@ -9,7 +9,6 @@ plus ``RK_1``/``RK_2``/``sim_1``).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -32,7 +31,7 @@ from ...core import (
 )
 from ...mesh import UnstructuredMesh, make_tri_mesh
 from .bathymetry import DEFAULT_SCENARIO, CoastalScenario, initial_state
-from .kernels import CFL, DRY_EPS, GRAVITY, make_kernels
+from .kernels import CFL, GRAVITY, make_kernels
 
 
 @dataclass

@@ -376,6 +376,17 @@ def gather_batch(
         if arg.is_direct:
             if contiguous:
                 view = arg.dat.data[elems[0] : elems[0] + nl]
+            elif arg.access is Access.INC:
+                # Non-contiguous direct INC: a gathered *copy* would be
+                # double-counted by the scatter_add writeback (old + old
+                # + delta), so hand the kernel a zeroed accumulator and
+                # scatter only the delta — the same contract indirect
+                # INC arguments get.  Matrix staging (core/mat.py) is
+                # the canonical direct-INC client of this path.
+                view = np.zeros((nl, arg.dat.dim), dtype=arg.dat.dtype)
+                batch.writebacks.append((i, elems))
+                batch.arrays.append(view)
+                continue
             else:
                 view = arg.dat.data[elems]
             if arg.access.writes and not contiguous:

@@ -24,7 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.access import Access
-from .base import Backend, gather_batch, run_scalar_element, scatter_batch
+from .base import Backend, gather_batch, run_scalar_element
 
 
 class SIMTBackend(Backend):

@@ -119,6 +119,14 @@ class _PhaseExec:
                     # Zero-copy in-place view, exactly what gather_batch
                     # passes; writes land directly, no writeback.
                     self.proto.append(dat._data[lo:lo + nl])
+                elif arg.access is Access.INC:
+                    # Non-contiguous direct INC: zeroed accumulator +
+                    # delta scatter_add, mirroring gather_batch (a
+                    # gathered copy would double-count old values).
+                    buf = np.zeros((nl, dat.dim), dtype=dat.dtype)
+                    self.proto.append(buf)
+                    self.fills.append((buf, 0))
+                    self._add_writeback(arg, dat, elems, i, serialize)
                 else:
                     self.proto.append(None)
                     self.gathers.append((i, False, dat, elems))
@@ -593,7 +601,6 @@ class VectorizedBackend(Backend):
     def _run_block_permute(self, kernel, vfn, args, plan, n, reductions,
                            start=0) -> None:
         bp = plan.block_permutation
-        layout = plan.layout
         for color_blocks in plan.blocks_by_color:
             for b in color_blocks:
                 for c in range(bp.block_ncolors(int(b))):

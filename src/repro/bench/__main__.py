@@ -18,6 +18,7 @@ from .figures import ALL_FIGURES
 from .harness import RESULTS_DIR
 from .measured import (
     ALL_ABLATIONS,
+    aero_ablation,
     batch_ablation,
     kernelc_ablation,
     loop_chain_ablation,
@@ -47,6 +48,8 @@ def dump_kernel(name: str) -> int:
     )
     from ..mesh import make_airfoil_mesh, make_tri_mesh
 
+    from ..apps.aero import AeroSim
+
     loops = {}
     for build in (
         lambda: AirfoilSim(make_airfoil_mesh(6, 3),
@@ -54,6 +57,8 @@ def dump_kernel(name: str) -> int:
         lambda: VolnaSim(make_tri_mesh(4, 3, 100_000.0, 75_000.0),
                          dtype=np.float64,
                          runtime=Runtime("sequential"), chained=True),
+        lambda: AeroSim(make_airfoil_mesh(8, 4),
+                        runtime=Runtime("sequential"), chained=True),
     ):
         sim = build()
         sim.step()
@@ -159,6 +164,10 @@ def main(argv=None) -> int:
         )
         print(kc_t.render())
         print(f"[saved {kc_t.save('ablation_kernelc', args.outdir)}]\n")
+        aero_t = aero_ablation(steps=2, mesh=make_airfoil_mesh(32, 16),
+                               repeats=3)
+        print(aero_t.render())
+        print(f"[saved {aero_t.save('ablation_aero', args.outdir)}]\n")
         print(f"Results under {args.outdir or RESULTS_DIR}/")
         return 0
 
@@ -195,6 +204,9 @@ def main(argv=None) -> int:
         table = kernelc_ablation()
         print(table.render())
         table.save("ablation_kernelc", args.outdir)
+        table = aero_ablation()
+        print(table.render())
+        table.save("ablation_aero", args.outdir)
 
     print(f"Results under {args.outdir or RESULTS_DIR}/")
     return 0

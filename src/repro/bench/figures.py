@@ -7,7 +7,7 @@ the bars/lines would plot.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

@@ -8,11 +8,11 @@ calibrated performance model at paper scale.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 import numpy as np
 
-from ..mesh import airfoil_paper_dims, make_airfoil_mesh, make_tri_mesh, volna_paper_dims
+from ..mesh import airfoil_paper_dims, volna_paper_dims
 from ..perfmodel import (
     AUTOVEC_OPENMP,
     CUDA,

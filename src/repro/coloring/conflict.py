@@ -16,7 +16,7 @@ from typing import Iterable, List, Sequence, Tuple
 
 import numpy as np
 
-from ..core.access import IDX_ALL, Arg
+from ..core.access import Arg
 
 
 def racing_slots(args: Sequence[Arg]) -> List[Tuple[object, int]]:

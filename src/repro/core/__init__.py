@@ -52,6 +52,7 @@ from .glob import Global
 from .kernel import Kernel, KernelInfo, kernel
 from .loop import par_loop, validate_loop
 from .map import Map, identity_map
+from .mat import Mat, arg_mat
 from .plan import DEFAULT_BLOCK_SIZE, Plan, PlanCache, build_plan, plan_signature
 from .runtime import Runtime, default_runtime, make_backend, set_backend
 from .set import Set
@@ -75,6 +76,7 @@ __all__ = [
     "MAX",
     "MIN",
     "Map",
+    "Mat",
     "Plan",
     "PlanCache",
     "READ",
@@ -86,6 +88,7 @@ __all__ = [
     "analyze_dependencies",
     "arg_dat",
     "arg_gbl",
+    "arg_mat",
     "build_plan",
     "chain",
     "compile_chain",

@@ -29,7 +29,6 @@ def save_mesh(mesh: UnstructuredMesh, path: Union[str, Path]) -> None:
         "coords": mesh.coords,
         "map_names": np.array(sorted(mesh.maps), dtype=object),
     }
-    set_code = {"nodes": 0, "cells": 1, "edges": 2, "bedges": 3}
     by_identity = {
         id(mesh.nodes): 0,
         id(mesh.cells): 1,
@@ -46,7 +45,6 @@ def save_mesh(mesh: UnstructuredMesh, path: Union[str, Path]) -> None:
         payload[f"meta_{key}"] = mesh.meta[key]
     payload["meta_names"] = np.array(sorted(mesh.meta), dtype=object)
     np.savez_compressed(Path(path), **payload, allow_pickle=True)
-    del set_code  # codes live in by_identity; kept for doc symmetry
 
 
 def load_mesh(path: Union[str, Path]) -> UnstructuredMesh:

@@ -29,7 +29,6 @@ import numpy as np
 from ..core.access import Arg
 from ..core.chain import LoopSpec, analyze_dependencies
 from ..core.dat import Dat
-from ..core.glob import Global
 from ..core.kernel import Kernel
 from ..core.loop import par_loop
 from ..core.map import Map

@@ -162,7 +162,6 @@ def build_exchanges(
     regions: List[SetRegions], set_parts: np.ndarray
 ) -> List[ExchangeList]:
     """Derive owner→importer copy lists for every rank's halo entries."""
-    nranks = len(regions)
     # Owner-local index of each global element (position within owner's
     # owned array).
     owner_local = np.full(set_parts.size, -1, dtype=np.int64)

@@ -19,7 +19,7 @@ explicit pack/compute/scatter pipeline in examples.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

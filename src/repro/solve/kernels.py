@@ -1,0 +1,91 @@
+"""Solver kernels — scalar sources only, like every application kernel.
+
+The batched forms are derived by :mod:`repro.kernelc`; nothing here is
+hand-vectorized.  ``make_spmv_kernel`` closes over the padded row width
+of one operator (:meth:`repro.core.mat.Mat.solver_view`), so the
+generated vector kernel unrolls a fixed-length multiply-accumulate per
+row — the ELLPACK SpMV shape SIMD hardware favours.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core.kernel import Kernel, KernelInfo
+
+#: Kernel objects are memoized (per width / singleton) so repeated
+#: solves share one identity: the chain cache and the kernelc compile
+#: cache both key on the Kernel object, and a fresh kernel per solve
+#: would force a re-trace and re-compile every time.
+_SPMV_KERNELS: Dict[int, Kernel] = {}
+_CG_KERNELS: Dict[str, Kernel] = {}
+
+
+def make_spmv_kernel(width: int) -> Kernel:
+    """Padded fixed-width row SpMV kernel: ``y[row] = Σ_k a_k · x_k``.
+
+    ``a`` is the row's padded CSR value gather, ``x`` the matching
+    column gather (both ``(width, 1)`` vector arguments); padding slots
+    carry a 0.0 value, so they contribute exactly nothing.  The
+    accumulation order is the fixed ``k = 0..width-1`` sweep — per-row
+    arithmetic is identical on every backend, which is what makes the
+    CG iterate sequence bitwise reproducible.
+    """
+    if width < 1:
+        raise ValueError(f"spmv row width must be >= 1, got {width}")
+    cached = _SPMV_KERNELS.get(width)
+    if cached is not None:
+        return cached
+
+    def spmv_row(a, x, y):
+        acc = a[0][0] * x[0][0]
+        for k in range(1, width):
+            acc += a[k][0] * x[k][0]
+        y[0] = acc
+
+    kern = Kernel(
+        f"spmv_w{width}",
+        spmv_row,
+        info=KernelInfo(
+            flops=2 * width, description="Padded-row sparse matrix-vector"
+        ),
+    )
+    _SPMV_KERNELS[width] = kern
+    return kern
+
+
+def make_cg_kernels() -> Dict[str, Kernel]:
+    """The conjugate-gradient vector-update kernels (all direct loops).
+
+    ``alpha``/``beta`` arrive as READ globals — broadcast constants the
+    host recomputes between loops from flushed dot products.
+    """
+    if _CG_KERNELS:
+        return _CG_KERNELS
+
+    def cg_init(b, ap, r, p):
+        r[0] = b[0] - ap[0]
+        p[0] = r[0]
+
+    def cg_update(alpha, p, ap, x, r):
+        x[0] += alpha[0] * p[0]
+        r[0] -= alpha[0] * ap[0]
+
+    def cg_direction(beta, r, p):
+        p[0] = r[0] + beta[0] * p[0]
+
+    _CG_KERNELS.update({
+        "cg_init": Kernel(
+            "cg_init", cg_init,
+            info=KernelInfo(flops=1, description="r = b - Ax; p = r"),
+        ),
+        "cg_update": Kernel(
+            "cg_update", cg_update,
+            info=KernelInfo(flops=4, description="x += a p; r -= a Ap"),
+        ),
+        "cg_direction": Kernel(
+            "cg_direction", cg_direction,
+            info=KernelInfo(flops=2, description="p = r + b p"),
+        ),
+    })
+    return _CG_KERNELS

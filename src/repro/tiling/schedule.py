@@ -45,7 +45,7 @@ reported by :meth:`TiledSchedule.stats`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Tuple, Union
 
 import numpy as np

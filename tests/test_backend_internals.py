@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.backends.base import (
-    BatchArgs,
     LoopStats,
     gather_batch,
     run_scalar_element,

@@ -1,0 +1,149 @@
+"""The bench-regression smoke guard (repro.bench.regression).
+
+Unit-level: baseline collection, pass/fail decisions, tolerance, and
+the failure modes CI must catch (missing artifacts, vanished entries).
+"""
+
+import json
+from pathlib import Path
+
+from repro.bench.regression import (
+    DEFAULT_TOLERANCE,
+    check,
+    collect_entries,
+    main,
+    update,
+)
+
+
+def write_artifact(directory: Path, name: str, rows) -> None:
+    (directory / f"{name}.json").write_text(
+        json.dumps({"title": name, "rows": rows, "notes": [], "meta": {}})
+    )
+
+
+def seed_results(directory: Path, chained_speedup=1.4) -> None:
+    write_artifact(directory, "BENCH_quick_batch", [
+        {"scheme": "two_level", "speedup vs chunked": 1.2},
+    ])
+    write_artifact(directory, "ablation_loop_chain", [
+        {"app": "airfoil", "Backend": "vectorized two_level",
+         "chained speedup": chained_speedup},
+        {"app": "airfoil", "Backend": "scalar (sequential)",
+         "chained speedup": 1.0},
+    ])
+    write_artifact(directory, "ablation_aero", [
+        {"Backend": "vectorized chained", "speedup vs vec eager": 1.3,
+         "speedup vs scalar": 80.0},
+        {"Backend": "scalar (sequential)", "speedup vs vec eager": 0.01,
+         "speedup vs scalar": 1.0},
+    ])
+
+
+class TestCollect:
+    def test_fast_path_rows_only(self, tmp_path):
+        seed_results(tmp_path)
+        entries = collect_entries(tmp_path)
+        labels = {(e["artifact"], tuple(e["key"].values())) for e in entries}
+        assert ("ablation_loop_chain",
+                ("airfoil", "vectorized two_level")) in labels
+        # Scalar rows are denominators, never guarded entries.
+        assert not any(
+            "scalar" in str(k).lower() for _, keys in labels for k in keys
+        )
+
+    def test_missing_artifacts_skipped(self, tmp_path):
+        write_artifact(tmp_path, "BENCH_quick_batch", [
+            {"scheme": "two_level", "speedup vs chunked": 1.1},
+        ])
+        entries = collect_entries(tmp_path)
+        assert len(entries) == 1
+        assert entries[0]["artifact"] == "BENCH_quick_batch"
+
+
+class TestCheck:
+    def _baseline(self, tmp_path) -> Path:
+        seed_results(tmp_path)
+        baseline = tmp_path / "baseline_quick.json"
+        assert update(baseline, tmp_path, DEFAULT_TOLERANCE) == 0
+        return baseline
+
+    def test_pass_within_tolerance(self, tmp_path):
+        baseline = self._baseline(tmp_path)
+        seed_results(tmp_path, chained_speedup=1.4 * 0.8)  # -20%: ok
+        assert check(baseline, tmp_path, 0.25) == []
+
+    def test_fail_beyond_tolerance(self, tmp_path):
+        baseline = self._baseline(tmp_path)
+        seed_results(tmp_path, chained_speedup=1.4 * 0.7)  # -30%: fail
+        failures = check(baseline, tmp_path, 0.25)
+        assert len(failures) == 1
+        assert "vectorized two_level" in failures[0]
+
+    def test_fail_when_artifact_missing(self, tmp_path):
+        baseline = self._baseline(tmp_path)
+        (tmp_path / "ablation_aero.json").unlink()
+        failures = check(baseline, tmp_path, 0.25)
+        assert any("ablation_aero" in f for f in failures)
+
+    def test_fail_when_entry_vanishes(self, tmp_path):
+        baseline = self._baseline(tmp_path)
+        write_artifact(tmp_path, "BENCH_quick_batch", [
+            {"scheme": "full_permute", "speedup vs chunked": 9.9},
+        ])
+        failures = check(baseline, tmp_path, 0.25)
+        assert any("vanished" in f for f in failures)
+
+    def test_missing_baseline_is_a_failure(self, tmp_path):
+        failures = check(tmp_path / "nope.json", tmp_path, 0.25)
+        assert len(failures) == 1
+        assert "--update" in failures[0]
+
+
+class TestCLI:
+    def test_update_then_check_roundtrip(self, tmp_path, capsys):
+        seed_results(tmp_path)
+        baseline = tmp_path / "baseline_quick.json"
+        assert main(["--update", "--baseline", str(baseline),
+                     "--results", str(tmp_path)]) == 0
+        assert main(["--baseline", str(baseline),
+                     "--results", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "passed" in out
+        blob = json.loads(baseline.read_text())
+        assert blob["entries"] and "regen" in blob
+
+    def test_check_exit_code_on_regression(self, tmp_path):
+        seed_results(tmp_path)
+        baseline = tmp_path / "baseline_quick.json"
+        main(["--update", "--baseline", str(baseline),
+              "--results", str(tmp_path)])
+        seed_results(tmp_path, chained_speedup=0.5)
+        assert main(["--baseline", str(baseline),
+                     "--results", str(tmp_path)]) == 1
+
+    def test_update_min_keeps_lowest_ratio(self, tmp_path):
+        seed_results(tmp_path, chained_speedup=1.2)
+        baseline = tmp_path / "baseline_quick.json"
+        main(["--update", "--baseline", str(baseline),
+              "--results", str(tmp_path)])
+        seed_results(tmp_path, chained_speedup=1.6)  # a lucky run
+        main(["--update", "--min", "--baseline", str(baseline),
+              "--results", str(tmp_path)])
+        blob = json.loads(baseline.read_text())
+        chained = [e for e in blob["entries"]
+                   if e["key"].get("Backend") == "vectorized two_level"]
+        assert chained[0]["value"] == 1.2  # the conservative floor stays
+
+    def test_update_without_results_fails(self, tmp_path):
+        assert main(["--update", "--baseline",
+                     str(tmp_path / "b.json"),
+                     "--results", str(tmp_path / "empty")]) == 1
+
+    def test_committed_baseline_matches_spec_surface(self):
+        """The committed baseline stays loadable and non-empty."""
+        committed = Path("bench_results/baseline_quick.json")
+        blob = json.loads(committed.read_text())
+        assert blob["entries"], "committed baseline must not be empty"
+        for entry in blob["entries"]:
+            assert {"artifact", "key", "metric", "value"} <= set(entry)

@@ -18,7 +18,6 @@ from repro.core import (
     compile_loop,
     generate_loop_source,
     kernel,
-    make_backend,
     par_loop,
 )
 from repro.core.access import IDX_ALL, IDX_ID

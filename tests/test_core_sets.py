@@ -10,7 +10,6 @@ from repro.core import (
     READ,
     RW,
     WRITE,
-    Access,
     Arg,
     Dat,
     Global,

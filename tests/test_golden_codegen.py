@@ -64,6 +64,14 @@ VOLNA_SHAPES = {
 }
 
 
+AERO_SHAPES = {
+    "rho_calc": [(True, None), (True, None), (True, 1)],
+    "res_calc": [(True, None), (True, 1), (True, 16)],
+    "rhs_calc": [(True, 1), (True, 1), (True, 1), (True, 1)],
+    "apply_bc": [(True, 1), (True, 1), (True, 1)],
+}
+
+
 class TestVectorGolden:
     @pytest.mark.parametrize("name", sorted(AIRFOIL_SHAPES))
     def test_airfoil(self, name):
@@ -82,6 +90,27 @@ class TestVectorGolden:
             kernel_ir(make_kernels()[name]), VOLNA_SHAPES[name]
         )
         _assert_golden(f"vec_volna_{name}.py.txt", source)
+
+    @pytest.mark.parametrize("name", sorted(AERO_SHAPES))
+    def test_aero(self, name):
+        """Aero pins the local-matrix lowering: ``K[4*i + j] += ...``
+        stores become lane-sliced index arithmetic in the vector form."""
+        from repro.apps.aero.kernels import make_kernels
+
+        source = emit_vector_source(
+            kernel_ir(make_kernels()[name]), AERO_SHAPES[name]
+        )
+        _assert_golden(f"vec_aero_{name}.py.txt", source)
+
+    def test_spmv(self):
+        """The solver's padded-row SpMV (width-specialized)."""
+        from repro.solve import make_spmv_kernel
+
+        source = emit_vector_source(
+            kernel_ir(make_spmv_kernel(9)),
+            [(True, None), (True, None), (True, 1)],
+        )
+        _assert_golden("vec_solve_spmv_w9.py.txt", source)
 
 
 # ----------------------------------------------------------------------

@@ -5,21 +5,18 @@ import pytest
 
 from repro.core import (
     INC,
-    MIN,
     READ,
     WRITE,
     Dat,
-    Global,
     Map,
     Runtime,
     Set,
     arg_dat,
-    arg_gbl,
     kernel,
     make_backend,
     par_loop,
 )
-from repro.core.access import IDX_ALL, IDX_ID
+from repro.core.access import IDX_ID
 from repro.mpi import DistContext
 from repro.partition import partition_iteration_set, rcb_partition
 

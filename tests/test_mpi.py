@@ -391,7 +391,6 @@ class TestOverlapExecution:
         wd = Dat(edges, 1, w, name="w")
         xd = Dat(nodes, 1, x, name="x")
         acc_a = Dat(nodes, 1, name="acc_a")
-        acc_b = Dat(nodes, 1, name="acc_b")
 
         ctx_a = build_ctx(nodes, edges, e2n, conn, nranks, [wd, xd, acc_a])
         ctx_a.par_loop(

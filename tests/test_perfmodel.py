@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import INC, READ, RW, WRITE, Dat, Global, Map, Set, arg_dat, arg_gbl
+from repro.core import INC, READ, RW, Dat, Global, Map, Set, arg_dat, arg_gbl
 from repro.core.access import IDX_ALL, IDX_ID
 from repro.perfmodel import (
     AUTOVEC_OPENMP,

@@ -35,11 +35,9 @@ from repro.core import (
 from repro.coloring import is_valid_tile_coloring
 from repro.testing import BACKEND_MATRIX, LAYOUT_MATRIX, runtime_for
 from repro.tiling import (
-    BarrierLoop,
     TiledSegment,
     auto_tile_size,
     barrier_reason,
-    build_tiled_schedule,
     check_tiling,
     segment_written_rows,
 )
