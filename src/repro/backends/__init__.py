@@ -6,6 +6,7 @@ paper's parallelization strategies.
 
 from .autovec import AutoVecBackend
 from .base import Backend, LoopStats, gather_batch, scatter_batch
+from .native import NativeBackend
 from .openmp import OpenMPBackend
 from .sequential import SequentialBackend
 from .simt import SIMTBackend
@@ -15,6 +16,7 @@ __all__ = [
     "AutoVecBackend",
     "Backend",
     "LoopStats",
+    "NativeBackend",
     "OpenMPBackend",
     "SIMTBackend",
     "SequentialBackend",

@@ -23,6 +23,7 @@ from .measured import (
     kernelc_ablation,
     loop_chain_ablation,
     measured_speedups,
+    native_ablation,
     tiling_ablation,
 )
 from .tables import ALL_TABLES
@@ -168,6 +169,9 @@ def main(argv=None) -> int:
                                repeats=3)
         print(aero_t.render())
         print(f"[saved {aero_t.save('ablation_aero', args.outdir)}]\n")
+        native_t = native_ablation(mesh=make_airfoil_mesh(48, 24), steps=5)
+        print(native_t.render())
+        print(f"[saved {native_t.save('ablation_native', args.outdir)}]\n")
         print(f"Results under {args.outdir or RESULTS_DIR}/")
         return 0
 
@@ -207,6 +211,9 @@ def main(argv=None) -> int:
         table = aero_ablation()
         print(table.render())
         table.save("ablation_aero", args.outdir)
+        table = native_ablation()
+        print(table.render())
+        table.save("ablation_native", args.outdir)
 
     print(f"Results under {args.outdir or RESULTS_DIR}/")
     return 0

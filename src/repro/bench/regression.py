@@ -59,6 +59,8 @@ SPECS: List[Tuple[str, Tuple[str, ...], str, Optional[str]]] = [
      None),
     ("ablation_kernelc", ("app", "mesh"), "vec speedup vs stub", None),
     ("ablation_aero", ("Backend",), "speedup vs vec eager", "scalar"),
+    ("ablation_native", ("app", "Backend"), "native speedup vs vec",
+     "scalar"),
 ]
 
 
@@ -111,7 +113,16 @@ def check(
         ]
     baseline = json.loads(baseline_path.read_text())
     failures: List[str] = []
-    for entry in baseline.get("entries", []):
+    entries = baseline.get("entries", [])
+    if not entries:
+        # An empty baseline would wave every regression through — the
+        # exact silent-pass failure mode this guard exists to prevent.
+        return [
+            f"baseline {baseline_path} has no entries; regenerate it with "
+            "`python -m repro.bench --quick && python -m "
+            "repro.bench.regression --update`"
+        ]
+    for entry in entries:
         artifact = entry["artifact"]
         rows = _load_rows(results_dir, artifact)
         label = f"{artifact} {entry['key']} [{entry['metric']}]"
@@ -130,6 +141,23 @@ def check(
                 f"{label}: ratio {current:.3g} fell below "
                 f"{floor:.3g} (baseline {entry['value']:.3g} "
                 f"- {tolerance:.0%} tolerance)"
+            )
+    # Coverage drift: a fresh fast-path entry with no baseline key
+    # would run forever unguarded.  Fail loudly so the baseline gets
+    # regenerated alongside the new bench row.
+    known = {
+        (e["artifact"], tuple(sorted(e["key"].items())), e["metric"])
+        for e in entries
+    }
+    for fresh in collect_entries(results_dir):
+        key = (fresh["artifact"], tuple(sorted(fresh["key"].items())),
+               fresh["metric"])
+        if key not in known:
+            failures.append(
+                f"{fresh['artifact']} {fresh['key']} "
+                f"[{fresh['metric']}]: fresh entry missing from the "
+                f"baseline — regenerate it with --update so the new "
+                f"fast path is guarded"
             )
     return failures
 

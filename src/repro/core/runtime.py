@@ -90,9 +90,11 @@ def make_backend(name: str, **options) -> Backend:
     """Instantiate a backend by registry name.
 
     Names: ``sequential``, ``openmp``, ``vectorized``, ``simt``,
-    ``autovec``, ``codegen``.  Options are forwarded (``vec=`` for
-    vectorized, ``device=`` for simt).
+    ``autovec``, ``codegen``, ``native``.  Options are forwarded
+    (``vec=`` for vectorized, ``device=`` for simt).
     """
+    from ..backends.native import NativeBackend
+
     registry = {
         "sequential": SequentialBackend,
         "openmp": OpenMPBackend,
@@ -100,6 +102,7 @@ def make_backend(name: str, **options) -> Backend:
         "simt": SIMTBackend,
         "autovec": AutoVecBackend,
         "codegen": CodegenBackend,
+        "native": NativeBackend,
     }
     if name not in registry:
         raise KeyError(
@@ -268,6 +271,7 @@ class Runtime:
         sized right? is steady state hitting?).
         """
         from ..kernelc import cache_stats
+        from ..kernelc.native import native_cache_stats
 
         return {
             "loop_cache": {
@@ -294,6 +298,9 @@ class Runtime:
             # Kernel-compilation cache (repro.kernelc): process-wide,
             # since generated kernels depend only on (kernel, shape).
             "kernelc_cache": cache_stats(),
+            # Native chain-compilation cache (repro.kernelc.native):
+            # process-wide in memory, content-hash keyed on disk.
+            "native_cache": native_cache_stats(),
             "kernels": dict(self.backend.stats),
         }
 

@@ -1,0 +1,1451 @@
+"""Native chain compilation: one C translation unit per loop chain.
+
+The third kernelc emitter.  :mod:`repro.kernelc.scalar` specializes the
+dispatch loop, :mod:`repro.kernelc.vector` derives batched NumPy
+kernels; this module lowers a whole *traced loop chain* — every
+:class:`~repro.core.chain.BoundLoop` of a
+:class:`~repro.core.chain.CompiledChain` — into a single C translation
+unit: per-element gathers, the scalar kernel body, and the scatters
+fused into one native loop per chain member, with AoS/SoA index
+arithmetic, map arities, set extents and closure constants baked into
+the source text.  The TU is compiled once with the system C compiler
+and loaded through cffi's ABI mode; runtime data arrives per run as a
+flat ``void **`` pointer table, so the shared object itself is
+position- and process-independent and can be cached on disk.
+
+Determinism rationale
+---------------------
+The emitted C replays the *sequential* backend operation for
+operation: elements execute in ascending order, every floating-point
+expression maps to the exact machine operation NumPy's scalar path
+performs (``+ - * /`` are IEEE double ops, ``np.sqrt`` is the
+correctly-rounded ``sqrt``, ``np.minimum``/``np.maximum`` keep NumPy's
+NaN/ordering rule, ``**`` mirrors ``npy_pow``'s special cases), and
+the TU is compiled with ``-ffp-contract=off -fno-fast-math`` so the
+compiler can neither fuse multiply-adds nor reassociate.  Native
+results are therefore *bitwise identical* to sequential eager
+execution — the acceptance bar the differential fuzz suite
+(``tests/test_kernelc_fuzz.py``) locks down.
+
+Cache hierarchy
+---------------
+Source text is content-hashed (:func:`source_key`); compiled shared
+objects live in memory per process and on disk under
+``$REPRO_NATIVE_CACHE`` (default ``~/.cache/repro_native``) keyed by
+that hash, so warm processes skip the compiler entirely.  This is the
+sixth cache kind surfaced by :meth:`repro.core.runtime.Runtime.stats`:
+loop → plan → chain → tiled → kernelc → native.
+
+Anything outside the translatable subset raises
+:class:`NativeUnsupported`; the native backend then falls back (see
+``backends/native.py``).
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+import hashlib
+import inspect
+import os
+import re
+import shutil
+import subprocess
+import tempfile
+import textwrap
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.access import Access
+from ..simd import intrinsics as _intrinsics
+from .cache import kernel_ir
+from .ir import (
+    SAssign,
+    SAug,
+    SFor,
+    SIf,
+    UnvectorizableKernel,
+    function_namespace,
+    is_lane_safe_helper,
+)
+
+
+class NativeUnsupported(Exception):
+    """Kernel or chain outside the native emitter's C-translatable subset."""
+
+
+# ----------------------------------------------------------------------
+# C type / literal mapping
+# ----------------------------------------------------------------------
+_CTYPES = {
+    np.dtype(np.float64): "double",
+    np.dtype(np.float32): "float",
+    np.dtype(np.int64): "long long",
+}
+
+_C_KEYWORDS = frozenset(
+    """auto break case char const continue default do double else enum extern
+    float for goto if inline int long register restrict return short signed
+    sizeof static struct switch typedef union unsigned void volatile while
+    _Bool""".split()
+)
+#: Identifiers the emitter itself generates inside a loop body.
+_EMITTER_NAMES = frozenset({"e", "l", "r", "lo", "hi", "P", "NAN", "INFINITY"})
+_GENERATED_RE = re.compile(r"^(?:[dmgv]\d+|i\d+|kc_\w+|h\d+_\w*)$")
+_IDENT_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+def _c_double(v) -> str:
+    """An exact C literal for a Python/NumPy float (hex when needed)."""
+    f = float(v)
+    if f != f:
+        return "NAN"
+    if f == float("inf"):
+        return "INFINITY"
+    if f == float("-inf"):
+        return "(-INFINITY)"
+    if f == int(f) and abs(f) < 1e16:
+        return repr(f)  # "3.0" — exact and readable
+    return float.hex(f)  # C99 hex float literal, exact round-trip
+
+
+def _c_float(v) -> str:
+    """An exact ``float`` C literal: the value NumPy's weak-scalar
+    promotion would use when this constant meets a float32 operand.
+    The ``f`` suffix is load-bearing — without it the literal is a
+    ``double`` and would silently promote the whole expression."""
+    f = float(np.float32(v))
+    if f != f:
+        return "NAN"
+    if f == float("inf"):
+        return "INFINITY"
+    if f == float("-inf"):
+        return "(-INFINITY)"
+    if f == int(f) and abs(f) < 1e7:
+        return repr(f) + "f"
+    return float.hex(f) + "f"
+
+
+def _cident(name: str, taken: set) -> str:
+    base = name if _IDENT_RE.match(name) else "loc"
+    if base in _C_KEYWORDS or base in _EMITTER_NAMES or _GENERATED_RE.match(base):
+        base += "_l"
+    while base in taken:
+        base += "_"
+    taken.add(base)
+    return base
+
+
+# ----------------------------------------------------------------------
+# Pointer-table construction
+# ----------------------------------------------------------------------
+class _PointerTable:
+    """Deterministic slot assignment for every runtime buffer a chain
+    touches: Dat physical storage, Map index tables, Global values.
+    Slots are assigned in first-encounter order over loops × args, so
+    the same chain always produces the same table (and source text)."""
+
+    def __init__(self) -> None:
+        self.recipe: List[Tuple[int, int, str]] = []  # (loop, argpos, kind)
+        self.comments: List[str] = []
+        self._slots: Dict[int, int] = {}
+
+    def slot(self, array: np.ndarray, loop_j: int, argpos: int, kind: str,
+             comment: str) -> int:
+        key = id(array)
+        found = self._slots.get(key)
+        if found is not None:
+            return found
+        idx = len(self.recipe)
+        self._slots[key] = idx
+        self.recipe.append((loop_j, argpos, kind))
+        self.comments.append(comment)
+        return idx
+
+
+@dataclass
+class _ArgSpec:
+    """Everything the emitter bakes into the source for one argument."""
+
+    kind: str  # direct | indirect | vector | gread | gred
+    slot: int
+    map_slot: Optional[int]
+    access: Access
+    dim: int
+    arity: int
+    map_index: int
+    layout: str
+    extent: int
+    ctype: str
+    name: str
+
+
+def _arg_spec(arg, loop_j: int, argpos: int, ptab: _PointerTable) -> _ArgSpec:
+    if arg.is_global:
+        g = arg.dat
+        gtype = _CTYPES.get(np.dtype(g._data.dtype))
+        if gtype not in ("double", "float"):
+            raise NativeUnsupported(
+                f"global {g.name}: only floating globals are nativizable"
+            )
+        slot = ptab.slot(g._data, loop_j, argpos, "gbl", f"global {g.name}")
+        kind = "gred" if arg.access.is_reduction else "gread"
+        return _ArgSpec(kind, slot, None, arg.access, g.dim, 0, -1,
+                        "aos", g.dim, gtype, g.name)
+    dat = arg.dat
+    ctype = _CTYPES.get(dat.dtype)
+    if ctype is None:
+        raise NativeUnsupported(
+            f"dat {dat.name}: dtype {dat.dtype} has no native mapping"
+        )
+    storage = dat._storage
+    extent = storage.shape[1] if dat.layout == "soa" else storage.shape[0]
+    slot = ptab.slot(
+        storage, loop_j, argpos, "dat",
+        f"dat {dat.name}: dim {dat.dim}, {dat.layout}, extent {extent}",
+    )
+    if arg.is_direct:
+        return _ArgSpec("direct", slot, None, arg.access, dat.dim, 0, -1,
+                        dat.layout, extent, ctype, dat.name)
+    map_slot = ptab.slot(
+        arg.map.values, loop_j, argpos, "map",
+        f"map {arg.map.name}: arity {arg.map.arity}",
+    )
+    if arg.is_vector:
+        return _ArgSpec("vector", slot, map_slot, arg.access, dat.dim,
+                        arg.map.arity, -1, dat.layout, extent, ctype, dat.name)
+    return _ArgSpec("indirect", slot, map_slot, arg.access, dat.dim,
+                    arg.map.arity, int(arg.index), dat.layout, extent, ctype,
+                    dat.name)
+
+
+# ----------------------------------------------------------------------
+# Name-resolution scope for the body translator
+# ----------------------------------------------------------------------
+@dataclass
+class _Scope:
+    ns: Dict[str, object]
+    rename: Dict[str, str] = field(default_factory=dict)
+    aliases: Dict[str, tuple] = field(default_factory=dict)
+    loops: Dict[str, int] = field(default_factory=dict)
+    params: Dict[str, int] = field(default_factory=dict)
+
+
+# ----------------------------------------------------------------------
+# Per-loop emitter
+# ----------------------------------------------------------------------
+class _LoopEmitter:
+    """Translates one bound loop (kernel + concrete args) to C."""
+
+    def __init__(self, j: int, bl, ptab: _PointerTable) -> None:
+        self.j = j
+        self.bl = bl
+        try:
+            self.ir = kernel_ir(bl.kernel)
+        except UnvectorizableKernel as exc:
+            raise NativeUnsupported(
+                f"kernel {bl.kernel.name}: {exc}"
+            ) from exc
+        if len(self.ir.params) != len(bl.args):
+            raise NativeUnsupported(
+                f"kernel {bl.kernel.name}: {len(self.ir.params)} params vs "
+                f"{len(bl.args)} loop arguments"
+            )
+        self.specs = [
+            _arg_spec(arg, j, i, ptab) for i, arg in enumerate(bl.args)
+        ]
+        #: (argpos, slot) for every reduction-global argument.
+        self.red_args = [
+            (i, s.slot) for i, s in enumerate(self.specs) if s.kind == "gred"
+        ]
+        # One uniform floating compute type per loop.  NumPy's weak
+        # scalars keep a float32 kernel in float32 end to end; a loop
+        # mixing float32 and float64 arguments would promote mid-kernel
+        # in ways C can't mirror cheaply — punt to the fallback.
+        ftypes = {s.ctype for s in self.specs if s.ctype in ("double", "float")}
+        if len(ftypes) > 1:
+            raise NativeUnsupported(
+                f"kernel {bl.kernel.name}: mixed float32/float64 arguments"
+            )
+        self.ft = ftypes.pop() if ftypes else "double"
+        self.sfx = "f" if self.ft == "float" else ""
+        self._taken: set = set()
+        self._hc = 0
+        self._tc = 0
+
+    def _lit(self, v) -> str:
+        return _c_float(v) if self.ft == "float" else _c_double(v)
+
+    def _lit_np(self, v) -> str:
+        """Literal for a NumPy-sourced constant.  A float64 *NumPy*
+        scalar is strong under NEP 50 — meeting one would promote a
+        float32 kernel to double mid-expression, which the uniform-type
+        C body can't mirror."""
+        if self.ft == "float" and isinstance(v, np.floating) \
+                and v.dtype == np.float64:
+            raise NativeUnsupported(
+                "float64 numpy constant inside a float32 kernel"
+            )
+        return self._lit(v)
+
+    # -- small helpers --------------------------------------------------
+    def _buf(self, spec: _ArgSpec) -> str:
+        if spec.kind in ("gread", "gred"):
+            return f"g{spec.slot}" if spec.kind == "gread" else self._red(spec)
+        return f"d{spec.slot}"
+
+    def _red(self, spec: _ArgSpec) -> str:
+        return f"kc_red{self.j}_{spec.slot}"
+
+    def _addr(self, spec: _ArgSpec, row: str, comp: int) -> str:
+        if spec.layout == "soa":
+            off = comp * spec.extent
+            idx = f"{row} + {off}" if off else row
+        elif spec.dim == 1:
+            idx = row
+        else:
+            idx = f"{row} * {spec.dim} + {comp}"
+        return f"d{spec.slot}[{idx}]"
+
+    # -- constant-index evaluation --------------------------------------
+    def _const_int(self, node, scope: _Scope) -> int:
+        if isinstance(node, ast.Constant) and isinstance(node.value, int) \
+                and not isinstance(node.value, bool):
+            return node.value
+        if isinstance(node, ast.Name):
+            if node.id in scope.loops:
+                return scope.loops[node.id]
+            v = scope.ns.get(node.id)
+            if isinstance(v, (int, np.integer)) and not isinstance(v, bool):
+                return int(v)
+            raise NativeUnsupported(f"non-constant index name {node.id!r}")
+        if isinstance(node, ast.BinOp):
+            lv = self._const_int(node.left, scope)
+            rv = self._const_int(node.right, scope)
+            if isinstance(node.op, ast.Add):
+                return lv + rv
+            if isinstance(node.op, ast.Sub):
+                return lv - rv
+            if isinstance(node.op, ast.Mult):
+                return lv * rv
+            if isinstance(node.op, ast.Mod):
+                return lv % rv
+            if isinstance(node.op, ast.FloorDiv):
+                return lv // rv
+            raise NativeUnsupported("unsupported index arithmetic")
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+            return -self._const_int(node.operand, scope)
+        raise NativeUnsupported(
+            f"index expression {ast.dump(node)[:60]} is not compile-time "
+            f"constant"
+        )
+
+    # -- subscript resolution -------------------------------------------
+    def _resolve_access(self, node, scope: _Scope):
+        """Resolve a (possibly chained) subscript.
+
+        Returns one of
+          ("lval", argpos, row_idx_or_None, comp)  — full param access
+          ("alias", argpos, (idx,))                — partial vector-arg row
+          ("elem", python_scalar)                  — closure array element
+          ("nsarr", ndarray)                       — partial closure array
+        """
+        idx_nodes = []
+        base = node
+        while isinstance(base, ast.Subscript):
+            idx_nodes.append(base.slice)
+            base = base.value
+        idx_nodes.reverse()
+        if not isinstance(base, ast.Name):
+            raise NativeUnsupported("subscript of a non-name expression")
+        name = base.id
+        idxs = [self._const_int(i, scope) for i in idx_nodes]
+
+        pre: Tuple[int, ...] = ()
+        if name in scope.aliases:
+            target = scope.aliases[name]
+            if target[0] == "arg":
+                _, argpos, pre = target
+                return self._param_access(argpos, list(pre) + idxs)
+            _, arr = target
+            return self._ns_access(arr, idxs)
+        if name in scope.params:
+            return self._param_access(scope.params[name], idxs)
+        v = scope.ns.get(name)
+        if isinstance(v, np.ndarray):
+            return self._ns_access(v, idxs)
+        raise NativeUnsupported(f"subscript of unsupported name {name!r}")
+
+    def _param_access(self, argpos: int, idxs: List[int]):
+        spec = self.specs[argpos]
+        needed = 2 if spec.kind == "vector" else 1
+        if len(idxs) < needed:
+            return ("alias", argpos, tuple(idxs))
+        if len(idxs) > needed:
+            raise NativeUnsupported(
+                f"param {self.ir.params[argpos]}: too many subscripts"
+            )
+        if spec.kind == "vector":
+            slot_i, comp = idxs
+            if slot_i < 0:
+                slot_i += spec.arity
+            if comp < 0:
+                comp += spec.dim
+            if not (0 <= slot_i < spec.arity and 0 <= comp < spec.dim):
+                raise NativeUnsupported("vector-arg subscript out of range")
+            return ("lval", argpos, slot_i, comp)
+        comp = idxs[0]
+        if comp < 0:
+            comp += spec.dim
+        if not 0 <= comp < spec.dim:
+            raise NativeUnsupported("component subscript out of range")
+        return ("lval", argpos, None, comp)
+
+    def _ns_access(self, arr: np.ndarray, idxs: List[int]):
+        v = arr
+        try:
+            for i in idxs:
+                v = v[i]
+        except IndexError as exc:
+            raise NativeUnsupported(f"constant-array index error: {exc}")
+        if np.ndim(v) == 0:
+            return ("elem", v)
+        return ("nsarr", v)
+
+    def _lvalue(self, argpos: int, slot_i, comp: int) -> str:
+        spec = self.specs[argpos]
+        if spec.kind == "direct":
+            return self._addr(spec, "e", comp)
+        if spec.kind == "indirect":
+            return self._addr(spec, f"i{argpos}", comp)
+        if spec.kind == "vector":
+            return f"v{argpos}[{slot_i * spec.dim + comp}]"
+        if spec.kind == "gread":
+            return f"g{spec.slot}[{comp}]"
+        return f"{self._red(spec)}[{comp}]"  # gred
+
+    # -- expressions ----------------------------------------------------
+    def _cx(self, node, scope: _Scope) -> str:
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool):
+                return "1.0" if node.value else "0.0"
+            if isinstance(node.value, (int, float)):
+                return self._lit(node.value)
+            raise NativeUnsupported(f"constant {node.value!r}")
+        if isinstance(node, ast.Name):
+            name = node.id
+            if name in scope.loops:
+                return self._lit(scope.loops[name])
+            if name in scope.aliases:
+                raise NativeUnsupported(
+                    f"array value {name!r} used in scalar position"
+                )
+            if name in scope.rename:
+                return scope.rename[name]
+            if name in scope.params:
+                raise NativeUnsupported(
+                    f"whole parameter {name!r} used as a value"
+                )
+            v = scope.ns.get(name)
+            if isinstance(v, (bool, int, float, np.floating, np.integer)):
+                return self._lit_np(v)
+            raise NativeUnsupported(f"unresolvable name {name!r}")
+        if isinstance(node, ast.Subscript):
+            r = self._resolve_access(node, scope)
+            if r[0] == "lval":
+                return self._lvalue(r[1], r[2], r[3])
+            if r[0] == "elem":
+                return self._lit_np(r[1])
+            raise NativeUnsupported("array-valued subscript in scalar position")
+        if isinstance(node, ast.BinOp):
+            folded = self._try_const(node, scope)
+            if folded is not None:
+                return self._lit(folded)
+            if isinstance(node.op, ast.Pow):
+                return self._pow(node.left, node.right, scope)
+            op = {ast.Add: "+", ast.Sub: "-", ast.Mult: "*",
+                  ast.Div: "/"}.get(type(node.op))
+            if op is None:
+                raise NativeUnsupported(
+                    f"operator {type(node.op).__name__} in value position"
+                )
+            return f"({self._cx(node.left, scope)} {op} " \
+                   f"{self._cx(node.right, scope)})"
+        if isinstance(node, ast.UnaryOp):
+            if isinstance(node.op, ast.USub):
+                return f"(-{self._cx(node.operand, scope)})"
+            return self._cx(node.operand, scope)
+        if isinstance(node, ast.Compare):
+            return (f"({self._cond(node, scope)} ? "
+                    f"{self._lit(1.0)} : {self._lit(0.0)})")
+        if isinstance(node, ast.IfExp):
+            return (
+                f"({self._cond(node.test, scope)} ? "
+                f"{self._cx(node.body, scope)} : "
+                f"{self._cx(node.orelse, scope)})"
+            )
+        if isinstance(node, ast.Call):
+            return self._call(node, scope)
+        raise NativeUnsupported(
+            f"expression {type(node).__name__} has no native lowering"
+        )
+
+    def _try_const(self, node, scope: _Scope):
+        """Evaluate a pure-Python constant subtree the way the scalar
+        kernel itself would — in Python (double) arithmetic — so that
+        e.g. ``0.5 * g`` folds to one literal *before* it is narrowed
+        to the loop's float type, exactly matching NumPy's weak-scalar
+        promotion.  Returns ``None`` when any leaf is runtime data or a
+        (strong) NumPy scalar."""
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, (int, float)) and \
+                    not isinstance(node.value, bool):
+                return node.value
+            return None
+        if isinstance(node, ast.Name):
+            if node.id in scope.loops:
+                return scope.loops[node.id]
+            if node.id in scope.rename or node.id in scope.aliases \
+                    or node.id in scope.params:
+                return None
+            v = scope.ns.get(node.id)
+            if type(v) in (int, float):
+                return v
+            return None
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+            v = self._try_const(node.operand, scope)
+            return None if v is None else -v
+        if isinstance(node, ast.BinOp):
+            lv = self._try_const(node.left, scope)
+            rv = self._try_const(node.right, scope)
+            if lv is None or rv is None:
+                return None
+            try:
+                if isinstance(node.op, ast.Add):
+                    return lv + rv
+                if isinstance(node.op, ast.Sub):
+                    return lv - rv
+                if isinstance(node.op, ast.Mult):
+                    return lv * rv
+                if isinstance(node.op, ast.Div):
+                    return lv / rv
+                if isinstance(node.op, ast.Pow):
+                    return lv ** rv
+            except (ZeroDivisionError, OverflowError):
+                return None
+        return None
+
+    def _cond(self, node, scope: _Scope) -> str:
+        if isinstance(node, ast.Compare):
+            cop = {ast.Lt: "<", ast.LtE: "<=", ast.Gt: ">", ast.GtE: ">=",
+                   ast.Eq: "==", ast.NotEq: "!="}.get(type(node.ops[0]))
+            if cop is None or len(node.ops) != 1:
+                raise NativeUnsupported("unsupported comparison")
+            return (
+                f"({self._cx(node.left, scope)} {cop} "
+                f"{self._cx(node.comparators[0], scope)})"
+            )
+        return f"({self._cx(node, scope)} != 0.0)"
+
+    def _pow(self, base, expo, scope: _Scope) -> str:
+        b = self._cx(base, scope)
+        v: Optional[float] = None
+        if isinstance(expo, ast.Constant) and isinstance(
+                expo.value, (int, float)) and not isinstance(expo.value, bool):
+            v = float(expo.value)
+        elif isinstance(expo, ast.Name):
+            nv = scope.ns.get(expo.id)
+            if isinstance(nv, (int, float, np.floating, np.integer)):
+                v = float(nv)
+        elif isinstance(expo, ast.UnaryOp) and isinstance(expo.op, ast.USub) \
+                and isinstance(expo.operand, ast.Constant):
+            v = -float(expo.operand.value)
+        # Mirror npy_pow's special cases exactly (numpy scalar **).
+        if v is not None:
+            if v == 2.0:
+                return f"({b} * {b})"
+            if v == -1.0:
+                return f"({self._lit(1.0)} / {b})"
+            if v == 0.0:
+                return self._lit(1.0)
+            if v == 0.5:
+                return f"sqrt{self.sfx}({b})"
+            if v == 1.0:
+                return b
+            return f"pow{self.sfx}({b}, {self._lit(v)})"
+        return f"kc_pow{self.sfx}({b}, {self._cx(expo, scope)})"
+
+    def _callee(self, func, scope: _Scope):
+        if isinstance(func, ast.Name):
+            if func.id in scope.ns:
+                return scope.ns[func.id]
+            return getattr(builtins, func.id, None)
+        if isinstance(func, ast.Attribute):
+            base = self._callee(func.value, scope)
+            if base is None:
+                return None
+            return getattr(base, func.attr, None)
+        return None
+
+    def _call(self, node: ast.Call, scope: _Scope) -> str:
+        fn = self._callee(node.func, scope)
+        if fn is None or node.keywords:
+            raise NativeUnsupported("unresolvable or keyword call")
+        a = [self._cx(arg, scope) for arg in node.args[1:]]
+
+        def arg0() -> str:
+            return self._cx(node.args[0], scope)
+
+        if fn in (np.sqrt, _intrinsics.vsqrt):
+            return f"sqrt{self.sfx}({arg0()})"
+        if fn in (np.abs, np.absolute, builtins.abs, _intrinsics.vabs):
+            return f"fabs{self.sfx}({arg0()})"
+        if fn in (np.minimum, _intrinsics.vmin):
+            return f"kc_fmin{self.sfx}({arg0()}, {a[0]})"
+        if fn in (np.maximum, _intrinsics.vmax):
+            return f"kc_fmax{self.sfx}({arg0()}, {a[0]})"
+        if fn is builtins.min and len(node.args) == 2:
+            return f"kc_pymin{self.sfx}({arg0()}, {a[0]})"
+        if fn is builtins.max and len(node.args) == 2:
+            return f"kc_pymax{self.sfx}({arg0()}, {a[0]})"
+        if fn is _intrinsics.select:
+            return (
+                f"({self._cond(node.args[0], scope)} ? {a[0]} : {a[1]})"
+            )
+        if fn is _intrinsics.vfma:
+            return f"(({arg0()} * {a[0]}) + {a[1]})"
+        if fn is _intrinsics.vrecip:
+            return f"({self._lit(1.0)} / {arg0()})"
+        raise NativeUnsupported(
+            f"call to {getattr(fn, '__name__', fn)!r} in expression position"
+        )
+
+    # -- helper inlining ------------------------------------------------
+    def _inline_helper(self, call: ast.Call, targets: List[str],
+                       scope: _Scope, out: List[str], ind: str) -> None:
+        fn = self._callee(call.func, scope)
+        n = self._hc
+        self._hc += 1
+        pf = f"h{n}_"
+        tree = ast.parse(textwrap.dedent(inspect.getsource(fn))).body[0]
+        params = [p.arg for p in tree.args.args]
+        if len(params) != len(call.args):
+            raise NativeUnsupported(
+                f"helper {fn.__name__}: argument count mismatch"
+            )
+        hscope = _Scope(ns=function_namespace(fn))
+        out.append(f"{ind}/* inlined {fn.__name__}() */")
+        for p, anode in zip(params, call.args):
+            cn = pf + p
+            out.append(f"{ind}const {self.ft} {cn} = {self._cx(anode, scope)};")
+            hscope.rename[p] = cn
+        rets: Optional[List[ast.expr]] = None
+        for st in tree.body:
+            if isinstance(st, ast.Expr) and isinstance(st.value, ast.Constant):
+                continue  # docstring
+            if isinstance(st, ast.Return):
+                if st.value is None:
+                    raise NativeUnsupported(
+                        f"helper {fn.__name__}: bare return"
+                    )
+                rets = (list(st.value.elts)
+                        if isinstance(st.value, ast.Tuple) else [st.value])
+                break
+            if not isinstance(st, ast.Assign):
+                raise NativeUnsupported(
+                    f"helper {fn.__name__}: non-assign statement"
+                )
+            self._helper_assign(st, pf, hscope, scope, out, ind)
+        if rets is None:
+            raise NativeUnsupported(f"helper {fn.__name__}: missing return")
+        if len(rets) != len(targets):
+            raise NativeUnsupported(
+                f"helper {fn.__name__}: returns {len(rets)} values into "
+                f"{len(targets)} targets"
+            )
+        tmps = []
+        for i, rv in enumerate(rets):
+            tn = f"{pf}r{i}"
+            out.append(f"{ind}const {self.ft} {tn} = {self._cx(rv, hscope)};")
+            tmps.append(tn)
+        for tgt, tn in zip(targets, tmps):
+            out.append(f"{ind}{tgt} = {tn};")
+
+    def _helper_assign(self, st: ast.Assign, pf: str, hscope: _Scope,
+                       kscope: _Scope, out: List[str], ind: str) -> None:
+        tgt = st.targets[0]
+        if len(st.targets) != 1:
+            raise NativeUnsupported("helper: chained assignment")
+        names = ([t.id for t in tgt.elts] if isinstance(tgt, ast.Tuple)
+                 else [tgt.id] if isinstance(tgt, ast.Name) else None)
+        if names is None:
+            raise NativeUnsupported("helper: non-name assignment target")
+
+        def bind(name: str) -> str:
+            if name in hscope.rename:
+                return hscope.rename[name]
+            cn = pf + name
+            hscope.rename[name] = cn
+            out.append(f"{ind}{self.ft} {cn};")
+            return cn
+
+        if isinstance(st.value, ast.Call) and self._is_helper_in(
+                st.value, hscope):
+            self._inline_helper(st.value, [bind(n) for n in names],
+                                hscope, out, ind)
+            return
+        if isinstance(tgt, ast.Tuple):
+            if not isinstance(st.value, ast.Tuple) or \
+                    len(st.value.elts) != len(names):
+                raise NativeUnsupported("helper: unsupported tuple assign")
+            tmps = []
+            for i, v in enumerate(st.value.elts):
+                tn = f"{pf}t{i}_{self._tc}"
+                self._tc += 1
+                out.append(f"{ind}const {self.ft} {tn} = {self._cx(v, hscope)};")
+                tmps.append(tn)
+            for name, tn in zip(names, tmps):
+                out.append(f"{ind}{bind(name)} = {tn};")
+            return
+        out.append(f"{ind}{bind(names[0])} = {self._cx(st.value, hscope)};")
+
+    def _is_helper_in(self, node, scope: _Scope) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        fn = self._callee(node.func, scope)
+        if fn is None or fn in INTRINSICS_AND_MATH or not inspect.isfunction(fn):
+            return False
+        return is_lane_safe_helper(fn)
+
+    # -- statements -----------------------------------------------------
+    def _target_code(self, tgt, scope: _Scope) -> str:
+        if isinstance(tgt, ast.Name):
+            scope.aliases.pop(tgt.id, None)
+            cn = scope.rename.get(tgt.id)
+            if cn is None:
+                raise NativeUnsupported(f"undeclared target {tgt.id!r}")
+            return cn
+        if isinstance(tgt, ast.Subscript):
+            r = self._resolve_access(tgt, scope)
+            if r[0] != "lval":
+                raise NativeUnsupported("partial-array store target")
+            return self._lvalue(r[1], r[2], r[3])
+        raise NativeUnsupported(
+            f"assignment target {type(tgt).__name__} unsupported"
+        )
+
+    def _stmt(self, st, scope: _Scope, out: List[str], ind: str) -> None:
+        if isinstance(st, SAssign):
+            self._assign(st, scope, out, ind)
+        elif isinstance(st, SAug):
+            op = {ast.Add: "+=", ast.Sub: "-=", ast.Mult: "*=",
+                  ast.Div: "/="}.get(type(st.op))
+            if op is None:
+                raise NativeUnsupported("unsupported augmented assignment")
+            rhs = self._cx(st.value, scope)
+            out.append(f"{ind}{self._target_code(st.target, scope)} {op} {rhs};")
+        elif isinstance(st, SFor):
+            if st.var in scope.loops:
+                raise NativeUnsupported(f"loop variable {st.var!r} reused")
+            span = range(st.start, st.stop, st.step)
+            if len(span) > 4096:
+                raise NativeUnsupported("dim loop too large to unroll")
+            out.append(f"{ind}/* for {st.var} in "
+                       f"range({st.start}, {st.stop}, {st.step}) */")
+            for v in span:
+                scope.loops[st.var] = v
+                for inner in st.body:
+                    self._stmt(inner, scope, out, ind)
+            scope.loops.pop(st.var, None)
+        elif isinstance(st, SIf):
+            before = dict(scope.aliases)
+            out.append(f"{ind}if {self._cond(st.test, scope)} {{")
+            for inner in st.body:
+                self._stmt(inner, scope, out, ind + "    ")
+            if scope.aliases != before:
+                raise NativeUnsupported("alias binding inside a branch")
+            if st.orelse:
+                out.append(f"{ind}}} else {{")
+                for inner in st.orelse:
+                    self._stmt(inner, scope, out, ind + "    ")
+                if scope.aliases != before:
+                    raise NativeUnsupported("alias binding inside a branch")
+            out.append(f"{ind}}}")
+        else:
+            raise NativeUnsupported(
+                f"statement {type(st).__name__} has no native lowering"
+            )
+
+    def _assign(self, st: SAssign, scope: _Scope, out: List[str],
+                ind: str) -> None:
+        if len(st.targets) != 1:
+            tn = f"t{self._tc}"
+            self._tc += 1
+            out.append(f"{ind}const {self.ft} {tn} = {self._cx(st.value, scope)};")
+            for tgt in st.targets:
+                out.append(f"{ind}{self._target_code(tgt, scope)} = {tn};")
+            return
+        tgt = st.targets[0]
+        # Array aliasing: ``x1 = x[k]`` binds a row, emits nothing.
+        if isinstance(tgt, ast.Name) and isinstance(st.value, ast.Subscript):
+            r = self._resolve_access(st.value, scope)
+            if r[0] == "alias":
+                scope.aliases[tgt.id] = ("arg", r[1], r[2])
+                return
+            if r[0] == "nsarr":
+                scope.aliases[tgt.id] = ("ns", r[1])
+                return
+        # Helper call: inline at statement level.
+        if isinstance(st.value, ast.Call) and self._is_helper_in(
+                st.value, scope):
+            targets = ([self._target_code(t, scope) for t in tgt.elts]
+                       if isinstance(tgt, ast.Tuple)
+                       else [self._target_code(tgt, scope)])
+            self._inline_helper(st.value, targets, scope, out, ind)
+            return
+        if isinstance(tgt, ast.Tuple):
+            if not isinstance(st.value, ast.Tuple) or \
+                    len(st.value.elts) != len(tgt.elts):
+                raise NativeUnsupported("tuple assignment shape mismatch")
+            tmps = []
+            for v in st.value.elts:
+                # RHS evaluated before any target is written (swap-safe).
+                if isinstance(v, ast.Subscript):
+                    r = self._resolve_access(v, scope)
+                    if r[0] in ("alias", "nsarr"):
+                        tmps.append(("alias", r))
+                        continue
+                tn = f"t{self._tc}"
+                self._tc += 1
+                out.append(f"{ind}const {self.ft} {tn} = {self._cx(v, scope)};")
+                tmps.append(("tmp", tn))
+            for t, (kind, val) in zip(tgt.elts, tmps):
+                if kind == "alias":
+                    if not isinstance(t, ast.Name):
+                        raise NativeUnsupported("array alias into subscript")
+                    if val[0] == "alias":
+                        scope.aliases[t.id] = ("arg", val[1], val[2])
+                    else:
+                        scope.aliases[t.id] = ("ns", val[1])
+                else:
+                    out.append(f"{ind}{self._target_code(t, scope)} = {val};")
+            return
+        out.append(
+            f"{ind}{self._target_code(tgt, scope)} = {self._cx(st.value, scope)};"
+        )
+
+    # -- locals pre-pass -------------------------------------------------
+    def _collect_locals(self) -> List[str]:
+        """Ordered scalar local names (aliases and loop vars excluded)."""
+        names: List[str] = []
+        depth: Dict[str, int] = {}  # alias name -> remaining subscripts
+
+        def need(name: str) -> Optional[int]:
+            """How many subscripts until ``name`` yields a scalar."""
+            if name in depth:
+                return depth[name]
+            if name in self._kscope.params:
+                spec = self.specs[self._kscope.params[name]]
+                return 2 if spec.kind == "vector" else 1
+            v = self.ir.namespace.get(name)
+            if isinstance(v, np.ndarray):
+                return v.ndim
+            return None
+
+        def sub_depth(node) -> Tuple[Optional[str], int]:
+            levels = 0
+            while isinstance(node, ast.Subscript):
+                levels += 1
+                node = node.value
+            if isinstance(node, ast.Name):
+                return node.id, levels
+            return None, levels
+
+        def add(name: str) -> None:
+            depth.pop(name, None)
+            if name not in names:
+                names.append(name)
+
+        def scan_assign(tgt, value) -> None:
+            if isinstance(tgt, ast.Tuple):
+                elts_v = (value.elts if isinstance(value, ast.Tuple)
+                          else [None] * len(tgt.elts))
+                for t, v in zip(tgt.elts, elts_v):
+                    scan_assign(t, v)
+                return
+            if not isinstance(tgt, ast.Name):
+                return
+            if isinstance(value, ast.Subscript):
+                base, levels = sub_depth(value)
+                needed = need(base) if base else None
+                if needed is not None and levels < needed:
+                    depth[tgt.id] = needed - levels
+                    return
+            add(tgt.id)
+
+        def walk(stmts) -> None:
+            for st in stmts:
+                if isinstance(st, SAssign):
+                    for tgt in st.targets:
+                        scan_assign(tgt, st.value)
+                elif isinstance(st, SFor):
+                    walk(st.body)
+                elif isinstance(st, SIf):
+                    walk(st.body)
+                    walk(st.orelse)
+        walk(self.ir.body)
+        return names
+
+    # -- whole-loop emission ---------------------------------------------
+    def emit(self) -> List[str]:
+        bl = self.bl
+        self._kscope = _Scope(
+            ns=self.ir.namespace,
+            params={p: i for i, p in enumerate(self.ir.params)},
+        )
+        scope = self._kscope
+        out: List[str] = []
+        out.append(
+            f"/* ---- loop {self.j}: {bl.kernel.name} over "
+            f"[{bl.start}, {bl.n}) ---- */"
+        )
+        for argpos, slot in self.red_args:
+            spec = self.specs[argpos]
+            out.append(f"static {self.ft} {self._red(spec)}[{spec.dim}];")
+        out.append(f"static void kc_loop{self.j}(void **P, i64 lo, i64 hi)")
+        out.append("{")
+
+        # One typed pointer local per distinct pointer-table slot.
+        writes: Dict[int, bool] = {}
+        slot_meta: Dict[int, Tuple[str, str, str]] = {}
+        for spec in self.specs:
+            if spec.kind in ("direct", "indirect", "vector"):
+                writes[spec.slot] = writes.get(spec.slot, False) or \
+                    spec.access.writes
+                slot_meta[spec.slot] = ("d", spec.ctype, spec.name)
+                if spec.map_slot is not None:
+                    slot_meta[spec.map_slot] = ("m", "long long", spec.name)
+            elif spec.kind == "gread":
+                slot_meta[spec.slot] = ("g", spec.ctype, spec.name)
+        for slot in sorted(slot_meta):
+            pfx, ctype, name = slot_meta[slot]
+            if pfx == "m":
+                out.append(
+                    f"    const long long *m{slot} = "
+                    f"(const long long *)P[{slot}];"
+                )
+            elif pfx == "g":
+                out.append(
+                    f"    const {ctype} *g{slot} = (const {ctype} *)P[{slot}];"
+                )
+            else:
+                const = "" if writes.get(slot) else "const "
+                out.append(
+                    f"    {const}{ctype} *d{slot} = "
+                    f"({const}{ctype} *)P[{slot}];"
+                )
+        out.append("    for (i64 e = lo; e < hi; ++e) {")
+        body: List[str] = []
+        ind = "        "
+
+        # Indirect row indices.
+        for k, spec in enumerate(self.specs):
+            if spec.kind == "indirect":
+                body.append(
+                    f"{ind}const i64 i{k} = "
+                    f"m{spec.map_slot}[e * {spec.arity} + {spec.map_index}];"
+                )
+        # Vector-argument gathers (copies, exactly like scalar_views).
+        for k, spec in enumerate(self.specs):
+            if spec.kind != "vector":
+                continue
+            size = spec.arity * spec.dim
+            if spec.access is Access.INC:
+                body.append(f"{ind}{self.ft} v{k}[{size}] = {{0.0{self.sfx}}};")
+                continue
+            body.append(f"{ind}{self.ft} v{k}[{size}];")
+            body.append(f"{ind}for (int l = 0; l < {spec.arity}; ++l) {{")
+            body.append(
+                f"{ind}    const i64 r = m{spec.map_slot}"
+                f"[e * {spec.arity} + l];"
+            )
+            for c in range(spec.dim):
+                body.append(
+                    f"{ind}    v{k}[l * {spec.dim} + {c}] = "
+                    f"{self._addr(spec, 'r', c)};"
+                )
+            body.append(f"{ind}}}")
+
+        # Scalar locals (pre-declared: branch assignments stay visible).
+        for name in self._collect_locals():
+            scope.rename[name] = _cident(name, self._taken)
+        if scope.rename:
+            decls = " ".join(
+                f"{self.ft} {scope.rename[n]};" for n in scope.rename
+            )
+            body.append(f"{ind}{decls}")
+
+        for st in self.ir.body:
+            self._stmt(st, scope, body, ind)
+
+        # Writebacks in argument order (run_scalar_element's order).
+        for k, spec in enumerate(self.specs):
+            if spec.kind != "vector" or not spec.access.writes:
+                continue
+            op = "+=" if spec.access is Access.INC else "="
+            body.append(f"{ind}for (int l = 0; l < {spec.arity}; ++l) {{")
+            body.append(
+                f"{ind}    const i64 r = m{spec.map_slot}"
+                f"[e * {spec.arity} + l];"
+            )
+            for c in range(spec.dim):
+                body.append(
+                    f"{ind}    {self._addr(spec, 'r', c)} {op} "
+                    f"v{k}[l * {spec.dim} + {c}];"
+                )
+            body.append(f"{ind}}}")
+        out.extend(body)
+        out.append("    }")
+        out.append("}")
+
+        # Reduction plumbing.
+        if self.red_args:
+            init_lines, fold_lines, part_lines = [], [], []
+            for argpos, slot in self.red_args:
+                spec = self.specs[argpos]
+                red = self._red(spec)
+                acc = self.bl.args[argpos].access
+                maxlit = "FLT_MAX" if self.ft == "float" else "DBL_MAX"
+                ident = {"INC": self._lit(0.0), "MIN": maxlit,
+                         "MAX": f"(-{maxlit})"}[acc.name]
+                fmin, fmax = f"kc_fmin{self.sfx}", f"kc_fmax{self.sfx}"
+                comb = {
+                    "INC": "g[{c}] += {r}[{c}];",
+                    "MIN": "g[{c}] = %s(g[{c}], {r}[{c}]);" % fmin,
+                    "MAX": "g[{c}] = %s(g[{c}], {r}[{c}]);" % fmax,
+                }[acc.name]
+                for c in range(spec.dim):
+                    init_lines.append(f"    {red}[{c}] = {ident};")
+                    fold_lines.append(
+                        "    { %s *g = (%s *)P[%d]; %s }"
+                        % (self.ft, self.ft, slot, comb.format(c=c, r=red))
+                    )
+                    part_lines.append(
+                        f"    (({self.ft} *)P[{slot}])[{c}] = {red}[{c}];"
+                    )
+            out.append(f"static void kc_loop{self.j}_init(void)")
+            out.append("{")
+            out.extend(init_lines)
+            out.append("}")
+            out.append(f"static void kc_loop{self.j}_fold(void **P)")
+            out.append("{")
+            out.extend(fold_lines)
+            out.append("}")
+            out.append(f"static void kc_loop{self.j}_partial(void **P)")
+            out.append("{")
+            out.extend(part_lines)
+            out.append("}")
+        out.append("")
+        return out
+
+
+#: Call targets that are *not* inlinable helpers (resolved specially).
+INTRINSICS_AND_MATH = frozenset(
+    {np.sqrt, np.abs, np.absolute, np.minimum, np.maximum,
+     builtins.abs, builtins.min, builtins.max,
+     _intrinsics.select, _intrinsics.vmin, _intrinsics.vmax,
+     _intrinsics.vabs, _intrinsics.vsqrt, _intrinsics.vfma,
+     _intrinsics.vrecip}
+)
+
+
+_PREAMBLE = """\
+#include <math.h>
+#include <float.h>
+
+typedef long long i64;
+
+/* np.minimum / np.maximum semantics (NaN-propagating, first-wins). */
+static inline double kc_fmin(double a, double b)
+{ return (a < b || isnan(a)) ? a : b; }
+static inline double kc_fmax(double a, double b)
+{ return (a > b || isnan(a)) ? a : b; }
+/* Python builtin min/max semantics (second-wins ties, NaN quirks). */
+static inline double kc_pymin(double a, double b)
+{ return (b < a) ? b : a; }
+static inline double kc_pymax(double a, double b)
+{ return (b > a) ? b : a; }
+/* npy_pow's special-case ladder, bitwise-faithful to numpy ``**``. */
+static double kc_pow(double x, double y)
+{
+    if (y == 2.0) return x * x;
+    if (y == -1.0) return 1.0 / x;
+    if (y == 0.0) return 1.0;
+    if (y == 0.5) return sqrt(x);
+    if (y == 1.0) return x;
+    return pow(x, y);
+}
+/* Single-precision twins for float32 (Volna) loops. */
+static inline float kc_fminf(float a, float b)
+{ return (a < b || isnan(a)) ? a : b; }
+static inline float kc_fmaxf(float a, float b)
+{ return (a > b || isnan(a)) ? a : b; }
+static inline float kc_pyminf(float a, float b)
+{ return (b < a) ? b : a; }
+static inline float kc_pymaxf(float a, float b)
+{ return (b > a) ? b : a; }
+static float kc_powf(float x, float y)
+{
+    if (y == 2.0f) return x * x;
+    if (y == -1.0f) return 1.0f / x;
+    if (y == 0.0f) return 1.0f;
+    if (y == 0.5f) return sqrtf(x);
+    if (y == 1.0f) return x;
+    return powf(x, y);
+}
+"""
+
+
+# ----------------------------------------------------------------------
+# Chain-level emission
+# ----------------------------------------------------------------------
+def emit_chain_source(loops: Sequence, name: str = "chain") -> str:
+    """One C translation unit for a whole loop chain.
+
+    ``loops`` is any sequence of bound-loop-likes exposing ``kernel``,
+    ``args``, ``n`` and ``start`` (``CompiledChain.loops``, or ad-hoc
+    records for a single eager loop).  Raises :class:`NativeUnsupported`
+    when any loop falls outside the translatable subset.
+    """
+    ptab = _PointerTable()
+    emitters = [_LoopEmitter(j, bl, ptab) for j, bl in enumerate(loops)]
+    parts: List[str] = [
+        f"/* Generated by repro.kernelc.native — {name}: "
+        f"{len(emitters)} loop(s). */",
+        _PREAMBLE,
+    ]
+    if ptab.recipe:
+        parts.append("/* pointer table:")
+        for i, comment in enumerate(ptab.comments):
+            parts.append(f" *   P[{i}] = {comment}")
+        parts.append(" */")
+        parts.append("")
+    bodies: List[str] = []
+    for em in emitters:
+        bodies.extend(em.emit())
+    parts.extend(bodies)
+
+    runs, inits, folds, partials, fused = [], [], [], [], []
+    for em in emitters:
+        j = em.j
+        runs.append(f"    case {j}: kc_loop{j}(P, lo, hi); break;")
+        if em.red_args:
+            inits.append(f"    case {j}: kc_loop{j}_init(); break;")
+            folds.append(f"    case {j}: kc_loop{j}_fold(P); break;")
+            partials.append(f"    case {j}: kc_loop{j}_partial(P); break;")
+            fused.append(f"    kc_loop{j}_init();")
+        fused.append(f"    kc_loop{j}(P, {em.bl.start}, {em.bl.n});")
+        if em.red_args:
+            fused.append(f"    kc_loop{j}_fold(P);")
+    parts.append("void kc_loop_run(i64 j, void **P, i64 lo, i64 hi)")
+    parts.append("{")
+    parts.append("    switch (j) {")
+    parts.extend(runs)
+    parts.append("    default: break;")
+    parts.append("    }")
+    parts.append("}")
+    for fname, cases, sig in (
+        ("kc_loop_init", inits, "i64 j"),
+        ("kc_loop_fold", folds, "i64 j, void **P"),
+        ("kc_loop_partial", partials, "i64 j, void **P"),
+    ):
+        parts.append(f"void {fname}({sig})")
+        parts.append("{")
+        if cases:
+            parts.append("    switch (j) {")
+            parts.extend(cases)
+            parts.append("    default: break;")
+            parts.append("    }")
+        else:
+            parts.append("    (void)j;")
+            if "P" in sig:
+                parts.append("    (void)P;")
+        parts.append("}")
+    parts.append("/* Whole-chain replay: loops in program order, each")
+    parts.append(" * reduction folded before the next loop can read it. */")
+    parts.append("void kc_run_fused(void **P)")
+    parts.append("{")
+    parts.extend(fused)
+    parts.append("}")
+    parts.append("")
+    return "\n".join(parts)
+
+
+def source_key(source: str) -> str:
+    """Content hash of an emitted TU — the native cache key.  Everything
+    behavior-affecting (kernel bodies, strides, layouts, extents, loop
+    ranges, constants) is baked into the source text, so equal keys mean
+    interchangeable shared objects."""
+    return hashlib.sha256(source.encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Compilation + two-level (memory / disk) cache
+# ----------------------------------------------------------------------
+_CDEF = """
+void kc_loop_run(long long j, void **P, long long lo, long long hi);
+void kc_loop_init(long long j);
+void kc_loop_fold(long long j, void **P);
+void kc_loop_partial(long long j, void **P);
+void kc_run_fused(void **P);
+"""
+
+#: cc flags: IEEE-strict (no contraction, no reassociation) — the
+#: determinism contract depends on these.
+CFLAGS = ["-O2", "-fPIC", "-shared", "-fno-fast-math", "-ffp-contract=off"]
+
+_stats = {
+    "compiles": 0,
+    "disk_hits": 0,
+    "mem_hits": 0,
+    "failures": 0,
+    "fallbacks": 0,
+}
+_mem_libs: Dict[str, tuple] = {}
+_cc_probe: Dict[tuple, Optional[str]] = {}
+
+
+def native_cache_stats() -> Dict[str, int]:
+    """Counters for the native compile cache (6th runtime cache kind)."""
+    out = dict(_stats)
+    out["entries"] = len(_mem_libs)
+    return out
+
+
+def count_native_fallback() -> None:
+    """Record one chain/loop that fell back off the native path."""
+    _stats["fallbacks"] += 1
+
+
+def reset_native_cache() -> None:
+    """Drop in-memory compiled libraries and zero the counters (tests).
+    The on-disk cache is left alone — remove ``native_cache_dir()`` to
+    clear it."""
+    _mem_libs.clear()
+    _cc_probe.clear()
+    for k in _stats:
+        _stats[k] = 0
+
+
+def native_cache_dir() -> Path:
+    override = os.environ.get("REPRO_NATIVE_CACHE")
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro_native"
+
+
+def _find_cc() -> Optional[str]:
+    key = (os.environ.get("CC"), os.environ.get("PATH"))
+    if key in _cc_probe:
+        return _cc_probe[key]
+    cc = os.environ.get("CC")
+    if cc and shutil.which(cc):
+        _cc_probe[key] = shutil.which(cc)
+        return _cc_probe[key]
+    for cand in ("cc", "gcc", "clang"):
+        found = shutil.which(cand)
+        if found:
+            _cc_probe[key] = found
+            return found
+    _cc_probe[key] = None
+    return None
+
+
+def compiler_available() -> bool:
+    """Can this process compile and load native chains?
+
+    ``REPRO_NATIVE_DISABLE_CC=1`` forces False (the CI fallback job);
+    otherwise require both a C compiler on PATH and cffi.
+    """
+    if os.environ.get("REPRO_NATIVE_DISABLE_CC"):
+        return False
+    try:
+        import cffi  # noqa: F401
+    except ImportError:  # pragma: no cover - cffi is baked into the image
+        return False
+    return _find_cc() is not None
+
+
+def load_native_library(source: str):
+    """Compile (or fetch from cache) one TU; returns ``(ffi, lib, key)``."""
+    sha = source_key(source)
+    cached = _mem_libs.get(sha)
+    if cached is not None:
+        _stats["mem_hits"] += 1
+        return cached + (sha,)
+    import cffi
+
+    ffi = cffi.FFI()
+    ffi.cdef(_CDEF)
+    cache_dir = native_cache_dir()
+    so_path = cache_dir / f"{sha}.so"
+    lib = None
+    if so_path.exists():
+        try:
+            lib = ffi.dlopen(str(so_path))
+            _stats["disk_hits"] += 1
+        except OSError:  # stale/foreign artifact: recompile below
+            lib = None
+    if lib is None:
+        cc = _find_cc()
+        if cc is None:
+            raise NativeUnsupported("no C compiler on PATH")
+        cache_dir.mkdir(parents=True, exist_ok=True)
+        c_path = cache_dir / f"{sha}.c"
+        c_path.write_text(source)
+        fd, tmp_so = tempfile.mkstemp(
+            suffix=".so", prefix=f".{sha[:12]}-", dir=str(cache_dir)
+        )
+        os.close(fd)
+        try:
+            proc = subprocess.run(
+                [cc, *CFLAGS, str(c_path), "-o", tmp_so, "-lm"],
+                capture_output=True, text=True,
+            )
+            if proc.returncode != 0:
+                _stats["failures"] += 1
+                raise NativeUnsupported(
+                    f"cc failed ({proc.returncode}): {proc.stderr[-800:]}"
+                )
+            os.replace(tmp_so, so_path)
+        finally:
+            if os.path.exists(tmp_so):
+                os.unlink(tmp_so)
+        _stats["compiles"] += 1
+        lib = ffi.dlopen(str(so_path))
+    _mem_libs[sha] = (ffi, lib)
+    return ffi, lib, sha
+
+
+# ----------------------------------------------------------------------
+# Executable chain programs
+# ----------------------------------------------------------------------
+class NativeChainProgram:
+    """A compiled chain plus its pointer-table binding.
+
+    The shared object is pure code — all runtime state arrives through
+    the ``void **`` table, refreshed from the live arrays before every
+    run, so one cached ``.so`` serves any process (and any number of
+    identically-shaped chains via :meth:`rebind`).
+    """
+
+    def __init__(self, source: str, loops: Sequence,
+                 recipe: List[Tuple[int, int, str]]) -> None:
+        self.source = source
+        self.loops = tuple(loops)
+        self.recipe = list(recipe)
+        self.ffi, self.lib, self.key = load_native_library(source)
+        self._ptab = self.ffi.new("void *[]", max(1, len(recipe)))
+        #: (argpos, slot) reduction pairs per loop.
+        self.red_args = []
+        ptab_seen: Dict[int, int] = {}
+        for j, bl in enumerate(self.loops):
+            reds = []
+            for i, arg in enumerate(bl.args):
+                if arg.is_global and arg.access.is_reduction:
+                    slot = self._slot_of(arg.dat._data, ptab_seen, j, i)
+                    reds.append((i, slot))
+            self.red_args.append(reds)
+
+    def _slot_of(self, array, seen, j, i) -> int:
+        # Recompute the first-encounter slot assignment (matches the
+        # emitter's _PointerTable exactly).
+        for slot, (lj, li, kind) in enumerate(self.recipe):
+            arr = self._recipe_array(slot, self.loops)
+            if arr is array:
+                return slot
+        raise NativeUnsupported("reduction buffer missing from pointer table")
+
+    def _recipe_array(self, slot: int, loops) -> np.ndarray:
+        j, i, kind = self.recipe[slot]
+        arg = loops[j].args[i]
+        if kind == "dat":
+            return arg.dat._storage
+        if kind == "map":
+            return arg.map.values
+        return arg.dat._data  # gbl
+
+    def _refresh(self, loops=None, overrides: Optional[Dict[int, np.ndarray]] = None) -> None:
+        loops = self.loops if loops is None else loops
+        for slot in range(len(self.recipe)):
+            arr = self._recipe_array(slot, loops)
+            if overrides and slot in overrides:
+                arr = overrides[slot]
+            self._ptab[slot] = self.ffi.cast("void *", arr.ctypes.data)
+
+    # -- replay entry points -------------------------------------------
+    def run_fused(self) -> None:
+        self._refresh()
+        self.lib.kc_run_fused(self._ptab)
+
+    def run_loop(self, j: int, lo: int, hi: int) -> None:
+        self.lib.kc_loop_run(j, self._ptab, lo, hi)
+
+    def loop_init(self, j: int) -> None:
+        self.lib.kc_loop_init(j)
+
+    def loop_fold(self, j: int) -> None:
+        self.lib.kc_loop_fold(j, self._ptab)
+
+    def loop_partial(self, j: int) -> None:
+        self.lib.kc_loop_partial(j, self._ptab)
+
+    def run_eager(self, args, reductions: Dict[int, np.ndarray]) -> None:
+        """Single-loop eager entry: run loop 0 of this program over the
+        given live ``args``, leaving raw reduction partials in the
+        caller's ``reductions`` accumulators (``Backend.execute`` then
+        folds them — one combine, exactly like every other backend)."""
+        bl = _EagerLoop(None, tuple(args), 0, 0)
+        overrides = {
+            slot: reductions[argpos]
+            for argpos, slot in self.red_args[0]
+            if argpos in reductions
+        }
+        self._refresh(loops=(bl,), overrides=overrides)
+        if self.red_args[0]:
+            self.lib.kc_loop_init(0)
+        self.lib.kc_loop_run(0, self._ptab, self.loops[0].start,
+                             self.loops[0].n)
+        if self.red_args[0]:
+            self.lib.kc_loop_partial(0, self._ptab)
+
+
+@dataclass(frozen=True)
+class _EagerLoop:
+    """Minimal bound-loop record for single-loop (eager) programs."""
+
+    kernel: object
+    args: tuple
+    n: int
+    start: int
+
+
+def build_chain_program(loops: Sequence, name: str = "chain") -> NativeChainProgram:
+    """Emit + compile + bind one chain.  Raises :class:`NativeUnsupported`
+    on untranslatable kernels or compile failure."""
+    ptab = _PointerTable()
+    # Re-run spec construction to obtain the recipe (emit_chain_source
+    # builds its own identical table — slot order is deterministic).
+    for j, bl in enumerate(loops):
+        _LoopEmitter(j, bl, ptab)
+    source = emit_chain_source(loops, name=name)
+    return NativeChainProgram(source, loops, ptab.recipe)
+
+
+def build_eager_program(kernel, args, n: int, start: int) -> NativeChainProgram:
+    """A one-loop program for eager ``par_loop`` dispatch."""
+    bl = _EagerLoop(kernel, tuple(args), int(n), int(start))
+    return build_chain_program([bl], name=f"eager:{kernel.name}")

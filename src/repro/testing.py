@@ -9,6 +9,8 @@ collection error).  Importing from ``repro.testing`` is order-independent.
 
 from __future__ import annotations
 
+import os
+
 #: (backend name, scheme, options) matrix every equivalence test sweeps.
 BACKEND_MATRIX = [
     ("sequential", "two_level", {}),
@@ -21,7 +23,22 @@ BACKEND_MATRIX = [
     ("simt", "two_level", {"device": "phi"}),
     ("autovec", "full_permute", {}),
     ("autovec", "block_permute", {}),
+    ("native", "two_level", {}),
 ]
+
+
+def _apply_backend_override(matrix):
+    """``REPRO_BACKEND=<name>`` restricts the matrix to one backend (the
+    CI native/fallback jobs force ``native``).  Unknown names get a
+    single default-scheme row so the sweep still exercises them."""
+    forced = os.environ.get("REPRO_BACKEND")
+    if not forced:
+        return matrix
+    subset = [row for row in matrix if row[0] == forced]
+    return subset or [(forced, "two_level", {})]
+
+
+BACKEND_MATRIX = _apply_backend_override(BACKEND_MATRIX)
 
 #: Dat storage layouts the layout-equivalence tests sweep.
 LAYOUT_MATRIX = ["aos", "soa"]

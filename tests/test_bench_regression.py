@@ -99,6 +99,33 @@ class TestCheck:
         assert len(failures) == 1
         assert "--update" in failures[0]
 
+    def test_empty_baseline_is_a_failure(self, tmp_path):
+        """An entry-less baseline must fail loudly, not wave everything
+        through (the silent-pass bug this guard exists to prevent)."""
+        seed_results(tmp_path)
+        baseline = tmp_path / "baseline_quick.json"
+        baseline.write_text(json.dumps({"entries": []}))
+        failures = check(baseline, tmp_path, 0.25)
+        assert len(failures) == 1
+        assert "no entries" in failures[0]
+        assert "--update" in failures[0]
+
+    def test_fresh_entry_without_baseline_key_is_a_failure(self, tmp_path):
+        """A new fast-path row the baseline has never seen must fail
+        (coverage drift), so new benches cannot run unguarded."""
+        baseline = self._baseline(tmp_path)
+        rows = [
+            {"app": "airfoil", "Backend": "native chained",
+             "native speedup vs vec": 9.0},
+        ]
+        write_artifact(tmp_path, "ablation_native", rows)
+        failures = check(baseline, tmp_path, 0.25)
+        assert any("native chained" in f and "missing from the baseline"
+                   in f for f in failures)
+        # Regenerating the baseline absorbs the new entry and clears it.
+        assert update(baseline, tmp_path, DEFAULT_TOLERANCE) == 0
+        assert check(baseline, tmp_path, 0.25) == []
+
 
 class TestCLI:
     def test_update_then_check_roundtrip(self, tmp_path, capsys):

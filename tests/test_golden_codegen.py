@@ -166,3 +166,65 @@ class TestStubGolden:
             "stub_vector_read_reduction.py.txt",
             generate_loop_source("numerical_flux", args),
         )
+
+
+# ----------------------------------------------------------------------
+# Native emitter snapshots: one C translation unit per traced app chain.
+# ----------------------------------------------------------------------
+class TestNativeGolden:
+    """Whole-chain C programs for every chain the three apps trace.
+
+    Emission is pure (no compiler needed), so these run everywhere and
+    pin the full native surface: pointer-table layout, per-loop bodies,
+    reduction plumbing and the fused/tiled entry points.  A chain's
+    on-disk cache key is the sha256 of exactly this text, so any diff
+    here is also a cache-key change.
+    """
+
+    @staticmethod
+    def _traced_chains(app):
+        from repro.core import Runtime
+        from repro.mesh import make_airfoil_mesh, make_tri_mesh
+
+        rt = Runtime("sequential")
+        if app == "airfoil":
+            from repro.apps.airfoil import AirfoilSim
+
+            sim = AirfoilSim(make_airfoil_mesh(12, 6), runtime=rt,
+                             chained=True)
+        elif app == "volna":
+            from repro.apps.volna import VolnaSim
+
+            sim = VolnaSim(make_tri_mesh(8, 6), runtime=rt, chained=True)
+        else:
+            from repro.apps.aero import AeroSim
+
+            sim = AeroSim(make_airfoil_mesh(10, 5), runtime=rt,
+                          chained=True)
+        sim.run(1)
+        return list(rt._chains.values())
+
+    @pytest.mark.parametrize("app", ["airfoil", "volna", "aero"])
+    def test_app_chains(self, app):
+        from repro.kernelc import emit_chain_source
+
+        chains = self._traced_chains(app)
+        assert chains, f"{app} traced no chains"
+        for i, compiled in enumerate(chains):
+            name = f"{app}{i:02d}"
+            source = emit_chain_source(compiled.loops, name=name)
+            first = compiled.loops[0].kernel.name
+            _assert_golden(f"native_{app}_{i:02d}_{first}.c.txt", source)
+
+    def test_cache_key_tracks_source(self):
+        """The on-disk .so key is the source hash: same text, same key;
+        any textual drift (even one literal) is a new compilation."""
+        from repro.kernelc import emit_chain_source, source_key
+
+        chains = self._traced_chains("airfoil")
+        source = emit_chain_source(chains[0].loops, name="airfoil00")
+        again = emit_chain_source(chains[0].loops, name="airfoil00")
+        assert source == again
+        assert source_key(source) == source_key(again)
+        assert len(source_key(source)) == 64  # sha256 hexdigest
+        assert source_key(source) != source_key(source + "\n/* edit */")

@@ -1,10 +1,11 @@
 """Runtime.stats() cache counters under eviction pressure.
 
-The runtime exposes five cache kinds (loop -> plan -> chain [fused and
-tiled entries] -> kernelc); long-running processes rely on the LRU
-bounds actually holding and on the hit/miss/eviction counters telling
-the truth.  These tests squeeze each cache below its working set and
-pin both.
+The runtime exposes six cache kinds (loop -> plan -> chain [fused and
+tiled entries] -> kernelc -> native); long-running processes rely on
+the LRU bounds actually holding and on the hit/miss/eviction counters
+telling the truth.  These tests squeeze each cache below its working
+set and pin both; the native compile cache (process-global, sha-keyed,
+disk-backed) gets its own counter pinning below.
 """
 
 import numpy as np
@@ -194,7 +195,7 @@ class TestKernelcCacheEviction:
 
 
 class TestStatsSurface:
-    def test_all_five_cache_kinds_reported(self):
+    def test_all_six_cache_kinds_reported(self):
         rt = Runtime("vectorized", chain_cache_entries=4)
         s1 = Set(8, "surf")
         a, b = Dat(s1, 1, 1.0), Dat(s1, 1)
@@ -207,6 +208,12 @@ class TestStatsSurface:
                      "kernelc_cache"):
             assert {"hits", "misses", "evictions", "entries",
                     "max_entries"} <= set(stats[kind]), kind
+        # The native compile cache is process-global and sha-keyed, so
+        # its counter surface differs from the LRU caches.
+        assert set(stats["native_cache"]) == {
+            "compiles", "disk_hits", "mem_hits", "failures",
+            "fallbacks", "entries",
+        }
         # The tiled lowering is a chain-cache entry kind: its key
         # includes the tiling request, so fused and tiled coexist.
         assert stats["chain_cache"]["entries"] >= 1
@@ -222,3 +229,52 @@ class TestStatsSurface:
         assert s["loop_cache"]["hits"] == 0
         assert s["plan_cache"]["entries"] == 0
         assert s["chain_cache"]["entries"] == 0
+
+
+class TestNativeCacheCounters:
+    """The 6th cache kind: chain-level native compilation counters."""
+
+    def _chained_step(self, tag):
+        rt = Runtime("native", chain_cache_entries=4)
+        s1 = Set(16, f"nat{tag}")
+        a, b = Dat(s1, 1, 1.0, name="na"), Dat(s1, 1, name="nb")
+        with rt.chain():
+            par_loop(stats_copy, s1,
+                     arg_dat(a, IDX_ID, None, READ),
+                     arg_dat(b, IDX_ID, None, WRITE), runtime=rt)
+        return rt, b
+
+    def test_compile_then_memory_hit(self, tmp_path, monkeypatch):
+        from repro.kernelc import compiler_available, reset_native_cache
+        import pytest
+
+        if not compiler_available():
+            pytest.skip("no C compiler in this environment")
+        monkeypatch.setenv("REPRO_NATIVE_CACHE", str(tmp_path))
+        reset_native_cache()
+        rt, b = self._chained_step("a")
+        s = rt.stats()["native_cache"]
+        assert s["compiles"] == 1
+        assert s["failures"] == 0
+        assert s["fallbacks"] == 0
+        assert s["entries"] == 1
+        # The translation unit and its .so both land in the disk cache.
+        assert len(list(tmp_path.glob("*.so"))) == 1
+        assert len(list(tmp_path.glob("*.c"))) == 1
+        # A fresh runtime re-traces the same chain: same source hash,
+        # so the in-process library cache answers without the compiler.
+        rt2, _ = self._chained_step("a")
+        s = rt2.stats()["native_cache"]
+        assert s["compiles"] == 1
+        assert s["mem_hits"] >= 1
+
+    def test_disabled_compiler_keeps_counters_silent(self, monkeypatch):
+        from repro.kernelc import reset_native_cache
+
+        monkeypatch.setenv("REPRO_NATIVE_DISABLE_CC", "1")
+        reset_native_cache()
+        rt, b = self._chained_step("off")
+        assert np.array_equal(b.data, np.ones((16, 1)))  # vec fallback ran
+        s = rt.stats()["native_cache"]
+        assert s == {"compiles": 0, "disk_hits": 0, "mem_hits": 0,
+                     "failures": 0, "fallbacks": 0, "entries": 0}
