@@ -29,8 +29,10 @@ def main() -> None:
     mesh = make_airfoil_mesh(ni, nj)
     print(f"mesh: {mesh.summary()}")
 
-    # --- convergence run on the fast backend -------------------------
-    sim = AirfoilSim(mesh, runtime=Runtime("vectorized", block_size=256))
+    # --- convergence run under the auto-tuned runtime ----------------
+    # backend="auto" probes the candidate configurations once, persists
+    # the winner in ~/.cache/repro_tune, and replays it on later runs.
+    sim = AirfoilSim(mesh, runtime=Runtime("auto", block_size=256))
     print(f"\nfree stream: q_inf = {sim.constants.qinf().round(4)}")
     print(f"{'iter':>6s} {'RMS residual':>14s}")
     for it in range(1, iters + 1):

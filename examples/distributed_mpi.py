@@ -42,7 +42,8 @@ def main() -> None:
     print(f"partition: {quality}")
 
     # --- serial reference ----------------------------------------------
-    serial = AirfoilSim(mesh, runtime=Runtime("vectorized", block_size=128))
+    # Auto-tuned serial reference (bitwise identical to every backend).
+    serial = AirfoilSim(mesh, runtime=Runtime("auto", block_size=128))
     serial.run(iters)
 
     # --- distributed run -------------------------------------------------

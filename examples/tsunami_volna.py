@@ -54,7 +54,7 @@ def main() -> None:
     scen = CoastalScenario()
     mesh = make_tri_mesh(nx, ny, scen.extent_x, scen.extent_y)
     sim = VolnaSim(mesh, dtype=np.float64,
-                   runtime=Runtime("vectorized", block_size=256),
+                   runtime=Runtime("auto", block_size=256),
                    scenario=scen)
     print(f"mesh: {mesh.summary()}")
     print(f"source: {scen.source_amplitude} m hump, "

@@ -86,9 +86,11 @@ class AeroSim:
     constants:
         Flow configuration (Mach, angle of attack, gamma).
     chained:
-        ``True`` (default) traces the assembly phase and each CG
-        iteration as deferred loop chains; ``False`` dispatches every
-        ``par_loop`` eagerly.  Bitwise identical either way.
+        ``True`` traces the assembly phase and each CG iteration as
+        deferred loop chains; ``False`` dispatches every ``par_loop``
+        eagerly.  Bitwise identical either way.  ``None`` (default)
+        behaves like ``True`` but also lets ``Runtime("auto")``'s tuner
+        pick the mode.
     tiling:
         Sparse-tiling request forwarded to ``runtime.chain(tiling=...)``
         (requires ``chained=True``); bitwise identical too.
@@ -102,7 +104,7 @@ class AeroSim:
         dtype=np.float64,
         runtime: Optional[Runtime] = None,
         constants: AeroConstants = DEFAULT_CONSTANTS,
-        chained: bool = True,
+        chained: Optional[bool] = None,
         tiling=None,
         cg_tol: float = 1e-10,
         cg_maxiter: int = 200,
@@ -111,7 +113,11 @@ class AeroSim:
         self.dtype = np.dtype(dtype)
         self.runtime = runtime
         self.constants = constants
-        self.chained = bool(chained)
+        #: Whether the caller chose the dispatch mode (a tuning pin);
+        #: ``None`` defaults to chained, and under ``Runtime("auto")``
+        #: leaves the mode to the tuner.
+        self.chained_explicit = chained is not None
+        self.chained = True if chained is None else bool(chained)
         if tiling is not None and not self.chained:
             raise ValueError(
                 "tiling requires chained=True (sparse tiling lowers a "
@@ -129,6 +135,11 @@ class AeroSim:
         self.cg_results: List[CGResult] = []
         self.delta_history: List[float] = []
         self.iterations_run = 0
+        rt = self._runtime()
+        if getattr(rt, "autotune_requested", False):
+            from ...tune import autotune_sim
+
+            autotune_sim(self, runtime=rt)
 
     def _runtime(self) -> Runtime:
         from ...core.runtime import default_runtime
@@ -164,6 +175,18 @@ class AeroSim:
             c2n = m.map("cell2node")
             state.mat = Mat(c2n, c2n, dtype=self.dtype, name="K")
         return state
+
+    def _realloc_state(self) -> None:
+        """Reallocate the state under the runtime's (new) layout.
+
+        Called by the auto-tuner after a layout switch; rebuilds the
+        SpMV operator over the fresh matrix staging and invalidates the
+        memoized loop signatures.
+        """
+        self.state = self._init_state()
+        self.operator = MatOperator(self.state.mat)
+        self.kernels["spmv"] = self.operator.kernel
+        self._loop_args_cache = None
 
     # ------------------------------------------------------------------
     def _loop_args(self) -> Dict[str, tuple]:

@@ -71,8 +71,11 @@ class AirfoilSim:
     constants:
         Flow constants (Mach, angle of attack, CFL, dissipation).
     chained:
-        ``True`` (default) traces each time step as a deferred loop
-        chain; ``False`` dispatches every ``par_loop`` eagerly.
+        ``True`` traces each time step as a deferred loop chain;
+        ``False`` dispatches every ``par_loop`` eagerly.  The default
+        (``None``) means chained — except under an auto-tuning runtime
+        (``Runtime("auto")``), where leaving it unset lets the tuner
+        negotiate the mode; passing an explicit value pins it.
     tiling:
         Sparse-tiling request forwarded to ``runtime.chain(tiling=...)``
         (``None`` = fused loop-major execution, ``"auto"`` or a seed
@@ -86,14 +89,16 @@ class AirfoilSim:
         dtype=np.float64,
         runtime: Optional[Runtime] = None,
         constants: AirfoilConstants = DEFAULT_CONSTANTS,
-        chained: bool = True,
+        chained: Optional[bool] = None,
         tiling=None,
     ) -> None:
         self.mesh = mesh if mesh is not None else make_airfoil_mesh(48, 24)
         self.dtype = np.dtype(dtype)
         self.runtime = runtime
         self.constants = constants
-        self.chained = bool(chained)
+        #: Whether the caller chose the dispatch mode (a tuning pin).
+        self.chained_explicit = chained is not None
+        self.chained = True if chained is None else bool(chained)
         if tiling is not None and not self.chained:
             raise ValueError(
                 "tiling requires chained=True (sparse tiling lowers a "
@@ -104,6 +109,11 @@ class AirfoilSim:
         self.state = self._init_state()
         self.rms_history: List[float] = []
         self.iterations_run = 0
+        rt = self._runtime()
+        if getattr(rt, "autotune_requested", False):
+            from ...tune import autotune_sim
+
+            autotune_sim(self, runtime=rt)
 
     def _runtime(self) -> Runtime:
         from ...core.runtime import default_runtime
@@ -119,6 +129,16 @@ class AirfoilSim:
         # layout is a Runtime knob rather than per-Dat boilerplate.
         with dat_layout(getattr(self.runtime, "layout", None)):
             return self._make_state(m, q0)
+
+    def _realloc_state(self) -> None:
+        """Reallocate the state under the runtime's (new) layout.
+
+        Used by the auto-tuner before any step has run — the state is
+        re-derived from the mesh and constants, and the memoized loop
+        args are dropped so they rebind to the fresh Dats.
+        """
+        self.state = self._init_state()
+        self._loop_args_cache = None
 
     def _make_state(self, m, q0) -> AirfoilState:
         return AirfoilState(

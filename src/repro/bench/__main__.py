@@ -19,6 +19,7 @@ from .harness import RESULTS_DIR
 from .measured import (
     ALL_ABLATIONS,
     aero_ablation,
+    autotune_ablation,
     batch_ablation,
     kernelc_ablation,
     loop_chain_ablation,
@@ -172,6 +173,9 @@ def main(argv=None) -> int:
         native_t = native_ablation(mesh=make_airfoil_mesh(48, 24), steps=5)
         print(native_t.render())
         print(f"[saved {native_t.save('ablation_native', args.outdir)}]\n")
+        auto_t = autotune_ablation(steps=2, repeats=5)
+        print(auto_t.render())
+        print(f"[saved {auto_t.save('ablation_autotune', args.outdir)}]\n")
         print(f"Results under {args.outdir or RESULTS_DIR}/")
         return 0
 
@@ -214,6 +218,9 @@ def main(argv=None) -> int:
         table = native_ablation()
         print(table.render())
         table.save("ablation_native", args.outdir)
+        table = autotune_ablation()
+        print(table.render())
+        table.save("ablation_autotune", args.outdir)
 
     print(f"Results under {args.outdir or RESULTS_DIR}/")
     return 0

@@ -49,7 +49,7 @@ def time_app(
     repeats: int = 1,
     layout: Optional[str] = None,
     cold_caches: bool = False,
-    chained: bool = False,
+    chained: Optional[bool] = False,
     tiling=None,
     strip_vector_forms: bool = False,
 ) -> float:
@@ -67,13 +67,25 @@ def time_app(
     ``Kernel.vector`` callables so the batched backends must run
     kernelc-generated kernels (the kernelc ablation's knob; a no-op
     when the app ships only scalar kernels).
+
+    ``backend="auto"`` measures the auto-tuning runtime: the sim is
+    built under ``Runtime("auto")`` (probe + decide happens during
+    construction, outside the timed region) and then timed on whatever
+    configuration the tuner picked; pass ``chained=None`` to leave the
+    dispatch mode to the tuner too.
     """
     times = []
     for _ in range(max(1, repeats)):
-        rt = Runtime(
-            backend=make_backend(backend, **options),
-            scheme=scheme, block_size=block_size, layout=layout,
-        )
+        if backend == "auto":
+            rt = Runtime(
+                backend="auto", scheme=scheme, block_size=block_size,
+                layout=layout,
+            )
+        else:
+            rt = Runtime(
+                backend=make_backend(backend, **options),
+                scheme=scheme, block_size=block_size, layout=layout,
+            )
         if app == "airfoil":
             sim = AirfoilSim(
                 mesh if mesh is not None else make_airfoil_mesh(48, 24),
@@ -558,6 +570,76 @@ def native_ablation(
         "every row.  Without a C compiler the native rows silently run "
         "the vectorized path (ratio ~1.0) — see the compiler_available "
         "meta flag."
+    )
+    return t
+
+
+def autotune_ablation(
+    steps: int = 3,
+    repeats: int = 5,
+    meshes=None,
+) -> ReportTable:
+    """``backend="auto"`` vs the best hand-picked configuration per app.
+
+    The auto-tuning acceptance artifact: for each app, every plausible
+    hand-picked configuration is timed (median of ``repeats``), and the
+    same workload runs under ``Runtime("auto")`` — probing and decision
+    application happen during sim construction, outside the timed
+    region, so the auto column measures the *tuned steady state*.  The
+    guarded ratio is best-hand-time / auto-time: ≥ 1.0 means the tuner
+    matched or beat every hand pick; ``repro.bench.regression`` fails
+    CI below 0.90 (auto more than 10% behind the best hand pick).
+    """
+    from ..kernelc import compiler_available
+    from ..tune import tune_cache_stats
+
+    if meshes is None:
+        meshes = {
+            "airfoil": make_airfoil_mesh(24, 12),
+            "volna": make_tri_mesh(20, 15, 100_000.0, 75_000.0),
+            "aero": make_airfoil_mesh(16, 8),
+        }
+    hand = {
+        "vectorized eager": ("vectorized", False, None),
+        "vectorized chained": ("vectorized", True, None),
+        "vectorized tiled (auto)": ("vectorized", True, "auto"),
+    }
+    if compiler_available():
+        hand["native chained"] = ("native", True, None)
+    t = ReportTable(
+        "Ablation: auto-tuned runtime vs best hand-picked configuration"
+    )
+    t.meta.update({"steps": steps, "repeats": repeats, "knob": "autotune"})
+    for app, mesh in meshes.items():
+        hand_times = {}
+        for label, (backend, chained, tiling) in hand.items():
+            hand_times[label] = time_app(
+                app, backend, "two_level", {}, mesh=mesh, steps=steps,
+                repeats=repeats, chained=chained, tiling=tiling,
+            )
+        auto = time_app(
+            app, "auto", "two_level", {}, mesh=mesh, steps=steps,
+            repeats=repeats, chained=None,
+        )
+        best_label = min(hand_times, key=hand_times.get)
+        best = hand_times[best_label]
+        t.add(
+            app=app,
+            **{
+                "auto ms/step": round(auto * 1e3, 3),
+                "best hand ms/step": round(best * 1e3, 3),
+                "best hand config": best_label,
+                "auto vs best": round(best / auto, 2),
+            },
+        )
+    t.meta["tune_cache"] = tune_cache_stats()
+    t.note(
+        "Runtime(\"auto\") profiles the traced chain, ranks candidate "
+        "(backend, layout, dispatch, tile) configurations with the "
+        "perfmodel roofline, probes the top few, and persists the "
+        "winner in the on-disk tuning DB (repro/tune); later runs "
+        "replay the decision with zero probes.  Ratios near 1.0 mean "
+        "the tuner found the best hand pick on its own."
     )
     return t
 

@@ -61,7 +61,13 @@ SPECS: List[Tuple[str, Tuple[str, ...], str, Optional[str]]] = [
     ("ablation_aero", ("Backend",), "speedup vs vec eager", "scalar"),
     ("ablation_native", ("app", "Backend"), "native speedup vs vec",
      "scalar"),
+    ("ablation_autotune", ("app",), "auto vs best", None),
 ]
+
+#: Absolute floor for the auto-tuner ratio (best-hand-time / auto-time):
+#: independent of the committed baseline, CI fails whenever the tuned
+#: configuration runs more than 10% behind the best hand pick.
+AUTOTUNE_FLOOR = 0.90
 
 
 def _load_rows(results_dir: Path, artifact: str) -> Optional[List[Dict]]:
@@ -158,6 +164,16 @@ def check(
                 f"[{fresh['metric']}]: fresh entry missing from the "
                 f"baseline — regenerate it with --update so the new "
                 f"fast path is guarded"
+            )
+        # The auto-tuner additionally carries an absolute acceptance
+        # bar (auto within 10% of the best hand pick), not just the
+        # relative no-worse-than-baseline guard.
+        if (fresh["artifact"] == "ablation_autotune"
+                and fresh["value"] < AUTOTUNE_FLOOR):
+            failures.append(
+                f"ablation_autotune {fresh['key']}: auto-tuned run is "
+                f"{fresh['value']:.2f}x the best hand-picked "
+                f"configuration (floor {AUTOTUNE_FLOOR})"
             )
     return failures
 

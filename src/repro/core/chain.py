@@ -76,6 +76,7 @@ the full backend × layout matrix.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -543,6 +544,7 @@ class LoopChain:
         self._disarm()
         compiled = self.runtime.compiled_chain_for(specs, tiling=self.tiling)
         self._flushing = True
+        t0 = time.perf_counter()
         try:
             if compiled.tiled is not None:
                 self.runtime.backend.run_tiled(compiled)
@@ -550,6 +552,15 @@ class LoopChain:
                 self.runtime.backend.run_chain(compiled)
         finally:
             self._flushing = False
+        # Per-chain wall time for stats()["profile"] (repro/tune): one
+        # perf_counter pair per flush, negligible next to execution.
+        profile = getattr(self.runtime, "profile", None)
+        if profile is not None:
+            profile.record_chain(
+                tuple(s.kernel.name for s in specs),
+                time.perf_counter() - t0,
+                tiled=compiled.tiled is not None,
+            )
         self.flushed_loops += len(specs)
         self.flushes += 1
 

@@ -131,6 +131,16 @@ class Runtime:
         ``None`` leaves the process default untouched.
     plan_cache_entries / loop_cache_entries / chain_cache_entries:
         LRU bounds for the three cache levels (``None`` = unbounded).
+
+    ``backend="auto"`` requests the auto-tuning runtime
+    (:mod:`repro.tune`): execution starts on the vectorized default,
+    and the first app driver constructed over this runtime negotiates
+    ``(backend, layout, tile size, chained-vs-eager)`` — replaying a
+    persisted decision when the tuning DB has one for this machine and
+    workload, probing otherwise.  Explicit knobs (``layout=...``, a
+    driver's ``chained=``/``tiling=``) are pins the tuner never
+    overrides, and results stay bitwise identical to sequential eager
+    whatever configuration wins.
     """
 
     def __init__(
@@ -144,13 +154,29 @@ class Runtime:
         loop_cache_entries: Optional[int] = DEFAULT_LOOP_CACHE_ENTRIES,
         chain_cache_entries: Optional[int] = DEFAULT_CHAIN_CACHE_ENTRIES,
     ) -> None:
+        #: True when constructed as ``Runtime("auto")``: app drivers
+        #: will call :meth:`autotune` before their first step.
+        self.autotune_requested = backend == "auto"
+        if self.autotune_requested:
+            backend = "vectorized"  # placeholder until a decision lands
         self.backend = (
             backend if isinstance(backend, Backend) else make_backend(backend)
         )
         self.block_size = int(block_size)
         self.scheme = scheme
         self.coloring_method = coloring_method
+        #: Whether the caller pinned the layout explicitly (the tuner
+        #: treats an explicit layout as non-negotiable).
+        self.layout_explicit = layout is not None
         self.layout = _check_layout(layout) if layout is not None else None
+        #: The tuner's decision applied to this runtime, if any.
+        self.tuned_decision = None
+        #: Always-on per-loop/per-chain instrumentation
+        #: (``stats()["profile"]``); registration happens on loop-cache
+        #: misses and chain flushes, so steady state pays nothing new.
+        from ..tune.profile import RuntimeProfile
+
+        self.profile = RuntimeProfile()
         self.plans = PlanCache(max_entries=plan_cache_entries)
         self.loop_cache_entries = loop_cache_entries
         self.chain_cache_entries = chain_cache_entries
@@ -182,6 +208,10 @@ class Runtime:
             self._loop_plans.move_to_end(key)
             return plan
         self.loop_cache_misses += 1
+        # First sight of a loop shape: record its transfer profile (kind
+        # + bytes-per-element estimate) for stats()["profile"] and the
+        # tuner's model seeding.  Once per call site, never per step.
+        self.profile.register_loop(kernel, set_, args)
         plan = self.plans.get(
             set_, args, self.block_size, self.scheme, self.coloring_method
         )
@@ -261,17 +291,31 @@ class Runtime:
         }
 
     def stats(self) -> Dict[str, object]:
-        """All runtime counters: the three cache levels plus backend
-        per-kernel timings.
+        """All runtime counters: the seven cache kinds, backend
+        per-kernel timings, and the loop/chain profile.
 
-        Cache counters cover hits, misses, evictions and current sizes
-        of the loop cache, the structural plan cache, the compiled
-        chain cache and the kernel-compilation cache — the
-        observability surface for long-running processes (are my caches
-        sized right? is steady state hitting?).
+        Every cache kind reports the canonical ``hits`` / ``misses`` /
+        ``evictions`` / ``entries`` / ``max_entries`` schema
+        (kind-specific extras ride alongside; the native cache keeps
+        its historical ``compiles``/``disk_hits``/``mem_hits`` keys as
+        deprecated aliases) — the observability surface for
+        long-running processes (are my caches sized right? is steady
+        state hitting?).  ``profile`` joins the per-loop transfer
+        estimates with the backend's measured timings; ``tune_cache``
+        covers the persistent tuning DB.
         """
         from ..kernelc import cache_stats
         from ..kernelc.native import native_cache_stats
+        from ..tune.store import tune_cache_stats
+
+        native = dict(native_cache_stats())
+        # Normalized aliases over the historical counter names: a disk
+        # or memory hit is a hit; a compile (cold fill) or failed
+        # compile is a miss; sha-keyed content addressing never evicts.
+        native["hits"] = native["mem_hits"] + native["disk_hits"]
+        native["misses"] = native["compiles"] + native["failures"]
+        native["evictions"] = 0
+        native["max_entries"] = None
 
         return {
             "loop_cache": {
@@ -300,8 +344,12 @@ class Runtime:
             "kernelc_cache": cache_stats(),
             # Native chain-compilation cache (repro.kernelc.native):
             # process-wide in memory, content-hash keyed on disk.
-            "native_cache": native_cache_stats(),
+            "native_cache": native,
+            # Persistent tuning DB (repro.tune.store): 7th cache kind,
+            # cross-process, keyed by (machine, chain signature).
+            "tune_cache": tune_cache_stats(),
             "kernels": dict(self.backend.stats),
+            "profile": self.profile.snapshot(self.backend.stats),
         }
 
     # ------------------------------------------------------------------
@@ -335,6 +383,43 @@ class Runtime:
         if layout is not None:
             self.layout = _check_layout(layout)
         return self
+
+    # ------------------------------------------------------------------
+    # Auto-tuning (see repro/tune).
+    # ------------------------------------------------------------------
+    def apply_decision(self, decision) -> "Runtime":
+        """Install a :class:`~repro.tune.TuneDecision` on this runtime.
+
+        Backend and layout are runtime-wide; the chained/tiling half of
+        a decision lives on the sims (``repro.tune.apps`` applies it).
+        """
+        self.configure(backend=decision.backend, layout=decision.layout)
+        self.tuned_decision = decision
+        return self
+
+    def autotune(self, sim=None, *, signature=None, probe=None,
+                 candidates=None, pins=None, store=None):
+        """Negotiate this runtime's configuration (see :mod:`repro.tune`).
+
+        ``runtime.autotune(sim)`` tunes for an app driver's workload —
+        the same path ``backend="auto"`` triggers implicitly.  The
+        keyword form negotiates a raw ``(signature, probe)`` pair for
+        custom workloads; either way the winning decision is applied to
+        this runtime and returned.
+        """
+        from ..tune import Tuner, autotune_sim
+
+        if sim is not None:
+            return autotune_sim(sim, runtime=self)
+        if signature is None:
+            raise ValueError("autotune() needs a sim or a signature")
+        tuner = Tuner(store=store) if store is not None else Tuner()
+        decision = tuner.negotiate(
+            signature, probe=probe, candidates=candidates, pins=pins,
+            loop_infos=self.profile.loop_infos(),
+        )
+        self.apply_decision(decision)
+        return decision
 
     def reset_stats(self) -> None:
         self.backend.reset_stats()

@@ -49,6 +49,13 @@ def runtime_for(name: str, scheme: str, options: dict, block_size: int = 64,
     """Isolated :class:`~repro.core.Runtime` for one matrix entry."""
     from repro.core import Runtime, make_backend
 
+    if name == "auto":
+        # The auto-tuning sentinel is resolved by Runtime itself (there
+        # is no "auto" Backend class to construct).
+        return Runtime(
+            backend="auto", block_size=block_size, scheme=scheme,
+            layout=layout,
+        )
     return Runtime(
         backend=make_backend(name, **options),
         block_size=block_size,

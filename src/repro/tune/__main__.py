@@ -1,0 +1,107 @@
+"""CLI for the auto-tuning runtime.
+
+Usage::
+
+    python -m repro.tune report            # profile one app run, print it
+    python -m repro.tune report --app volna --steps 5 --out profile.json
+    python -m repro.tune db                # inspect the tuning DB
+    python -m repro.tune db --clear        # drop this machine's decisions
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def _build_sim(app: str, backend: str):
+    from ..core import Runtime
+    from ..mesh import make_airfoil_mesh, make_tri_mesh
+
+    rt = Runtime(backend)
+    if app == "airfoil":
+        from ..apps.airfoil import AirfoilSim
+
+        return AirfoilSim(make_airfoil_mesh(48, 24), runtime=rt), rt
+    if app == "volna":
+        from ..apps.volna import VolnaSim
+
+        return VolnaSim(make_tri_mesh(40, 30, 100_000.0, 75_000.0),
+                        runtime=rt), rt
+    if app == "aero":
+        from ..apps.aero import AeroSim
+
+        return AeroSim(make_airfoil_mesh(24, 12), runtime=rt), rt
+    raise SystemExit(f"unknown app {app!r} (airfoil, volna, aero)")
+
+
+def cmd_report(args) -> int:
+    sim, rt = _build_sim(args.app, args.backend)
+    sim.run(args.steps)
+    stats = rt.stats()
+    report = {
+        "app": args.app,
+        "backend": args.backend,
+        "steps": args.steps,
+        "decision": (rt.tuned_decision.to_dict()
+                     if rt.tuned_decision is not None else None),
+        "profile": stats["profile"],
+        "tune_cache": stats["tune_cache"],
+    }
+    text = json.dumps(report, indent=2, default=str)
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(text + "\n")
+        print(f"[saved {args.out}]")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_db(args) -> int:
+    from .store import TuneStore, tune_cache_dir
+
+    store = TuneStore()
+    if args.clear:
+        n = len(store.entries())
+        store.clear()
+        print(f"cleared {n} entries under {store.dir}")
+        return 0
+    print(f"tuning DB: {tune_cache_dir()} (fingerprint {store.fingerprint})")
+    entries = store.entries()
+    if not entries:
+        print("  (empty)")
+        return 0
+    for key in entries:
+        doc = store.load(key)
+        print(f"  {key}: {json.dumps(doc, default=str)}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.tune",
+        description="Auto-tuning runtime: profile reports and the "
+                    "persistent tuning DB.",
+    )
+    sub = parser.add_subparsers(dest="cmd", required=True)
+    rep = sub.add_parser("report", help="run one app and dump its "
+                         "per-loop/per-chain profile")
+    rep.add_argument("--app", default="airfoil",
+                     choices=("airfoil", "volna", "aero"))
+    rep.add_argument("--backend", default="auto",
+                     help='runtime backend (default "auto")')
+    rep.add_argument("--steps", type=int, default=3)
+    rep.add_argument("--out", default=None, help="write JSON here")
+    db = sub.add_parser("db", help="inspect or clear the tuning DB")
+    db.add_argument("--clear", action="store_true",
+                    help="drop this machine's persisted decisions")
+    args = parser.parse_args(argv)
+    if args.cmd == "report":
+        return cmd_report(args)
+    return cmd_db(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,127 @@
+"""Always-on lightweight instrumentation: per-loop and per-chain profiles.
+
+The backends already time every executed loop (``Backend.stats``); this
+module adds what the tuner and the calibration fit need on top:
+
+* a **transfer profile** per loop shape — kernel class (direct / gather
+  / scatter, :func:`repro.perfmodel.classify_loop`) and estimated useful
+  bytes per element (:func:`repro.perfmodel.analyze_loop`'s
+  infinite-cache convention), derived once per loop-cache miss from the
+  plan metadata the runtime resolves anyway;
+* **per-chain wall time** recorded at every flush.
+
+Registration is defensive end to end: a loop shape the transfer model
+cannot analyze (e.g. matrix staging arguments) degrades to an
+``unknown`` class with zero byte estimate — profiling must never break
+or slow execution.  :meth:`RuntimeProfile.snapshot` joins the estimates
+with the backend's measured timings into the ``Runtime.stats()
+["profile"]`` surface (also dumpable via ``python -m repro.tune
+report``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+
+class RuntimeProfile:
+    """Per-runtime accumulator for loop/chain instrumentation."""
+
+    def __init__(self) -> None:
+        #: kernel name -> {"kind", "bytes_per_element", "n"}
+        self.loops: Dict[str, Dict[str, object]] = {}
+        #: joined kernel names -> {"flushes", "seconds", "loops", "tiled"}
+        self.chains: Dict[str, Dict[str, object]] = {}
+
+    # ------------------------------------------------------------------
+    def register_loop(self, kernel, set_, args: Sequence) -> None:
+        """Record the transfer profile of one loop shape (idempotent).
+
+        Called from the runtime's loop-cache miss path, so the (mildly
+        expensive) unique-touch analysis runs once per distinct call
+        site, not once per step.
+        """
+        name = getattr(kernel, "name", str(kernel))
+        if name in self.loops:
+            return
+        n = int(getattr(set_, "size", 0)) or 1
+        kind = "unknown"
+        bytes_per_element = 0.0
+        try:
+            from ..perfmodel import analyze_loop, classify_loop
+
+            kind = classify_loop(args)
+            lt = analyze_loop(set_.name, args, {}, n_elements=n)
+            sizes = {set_.name: set_.size}
+            itemsize = 8
+            for a in args:
+                if not a.is_global:
+                    sizes.setdefault(a.dat.set.name, a.dat.set.size)
+                    itemsize = int(a.dat.data.dtype.itemsize)
+            bytes_per_element = lt.useful_bytes(n, sizes, itemsize) / n
+        except Exception:
+            pass  # unanalyzable shape: keep the coarse record
+        self.loops[name] = {
+            "kind": kind,
+            "bytes_per_element": float(bytes_per_element),
+            "n": n,
+        }
+
+    def record_chain(
+        self, kernel_names: Tuple[str, ...], seconds: float, tiled: bool
+    ) -> None:
+        """Accumulate one chain flush (called from ``LoopChain.flush``)."""
+        key = "+".join(kernel_names)
+        entry = self.chains.setdefault(
+            key, {"flushes": 0, "seconds": 0.0, "loops": len(kernel_names),
+                  "tiled": bool(tiled)}
+        )
+        entry["flushes"] = int(entry["flushes"]) + 1
+        entry["seconds"] = float(entry["seconds"]) + float(seconds)
+        entry["tiled"] = bool(tiled)
+
+    # ------------------------------------------------------------------
+    def loop_infos(self) -> list:
+        """Per-loop records in the shape the candidate model consumes."""
+        return [
+            {"name": name, "n": info["n"], "kind": info["kind"],
+             "bytes": float(info["bytes_per_element"]) * int(info["n"])}
+            for name, info in self.loops.items()
+        ]
+
+    def snapshot(self, backend_stats: Optional[Dict] = None) -> Dict:
+        """The ``Runtime.stats()["profile"]`` payload.
+
+        Joins the static per-loop estimates with the backend's measured
+        ``LoopStats`` (calls / seconds / elements); ``est_gbs`` is the
+        achieved useful bandwidth under the infinite-cache convention —
+        the number the calibration fit consumes.
+        """
+        loops: Dict[str, Dict[str, object]] = {}
+        for name, info in self.loops.items():
+            entry: Dict[str, object] = {
+                "kind": info["kind"],
+                "bytes_per_element": info["bytes_per_element"],
+                "calls": 0,
+                "seconds": 0.0,
+                "elements": 0,
+                "est_bytes": 0,
+                "est_gbs": 0.0,
+            }
+            st = (backend_stats or {}).get(name)
+            if st is not None:
+                entry["calls"] = int(st.calls)
+                entry["seconds"] = float(st.elapsed)
+                entry["elements"] = int(st.elements)
+                entry["est_bytes"] = int(
+                    float(info["bytes_per_element"]) * st.elements
+                )
+                if st.elapsed > 0:
+                    entry["est_gbs"] = float(entry["est_bytes"]) / (
+                        st.elapsed * 1e9
+                    )
+            loops[name] = entry
+        return {
+            "loops": loops,
+            "chains": {k: dict(v) for k, v in self.chains.items()},
+        }

@@ -26,10 +26,9 @@ CG_KW = dict(cg_tol=1e-10, cg_maxiter=200)
 def run_aero(backend="sequential", scheme="two_level", options=None,
              layout=None, chained=False, tiling=None, picard=PICARD,
              constants=None):
-    from repro.core import make_backend
+    from repro.testing import runtime_for
 
-    rt = Runtime(make_backend(backend, **(options or {})), scheme=scheme,
-                 layout=layout)
+    rt = runtime_for(backend, scheme, options or {}, layout=layout)
     kwargs = dict(CG_KW)
     if constants is not None:
         kwargs["constants"] = constants

@@ -1,11 +1,14 @@
 """Runtime.stats() cache counters under eviction pressure.
 
-The runtime exposes six cache kinds (loop -> plan -> chain [fused and
-tiled entries] -> kernelc -> native); long-running processes rely on
-the LRU bounds actually holding and on the hit/miss/eviction counters
-telling the truth.  These tests squeeze each cache below its working
-set and pin both; the native compile cache (process-global, sha-keyed,
-disk-backed) gets its own counter pinning below.
+The runtime exposes seven cache kinds (loop -> plan -> chain [fused and
+tiled entries] -> kernelc -> native -> tune); long-running processes
+rely on the LRU bounds actually holding and on the hit/miss/eviction
+counters telling the truth.  These tests squeeze each cache below its
+working set and pin both; the native compile cache (process-global,
+sha-keyed, disk-backed) gets its own counter pinning below, and the
+normalized counter schema every kind shares (hits / misses / evictions
+/ entries / max_entries, plus kind-specific extras) is pinned in
+TestStatsSurface.
 """
 
 import numpy as np
@@ -195,7 +198,10 @@ class TestKernelcCacheEviction:
 
 
 class TestStatsSurface:
-    def test_all_six_cache_kinds_reported(self):
+    #: Counter keys every cache kind reports (the normalized schema).
+    CANONICAL = {"hits", "misses", "evictions", "entries", "max_entries"}
+
+    def test_all_seven_cache_kinds_reported(self):
         rt = Runtime("vectorized", chain_cache_entries=4)
         s1 = Set(8, "surf")
         a, b = Dat(s1, 1, 1.0), Dat(s1, 1)
@@ -205,19 +211,36 @@ class TestStatsSurface:
                      arg_dat(b, IDX_ID, None, WRITE), runtime=rt)
         stats = rt.stats()
         for kind in ("loop_cache", "plan_cache", "chain_cache",
-                     "kernelc_cache"):
-            assert {"hits", "misses", "evictions", "entries",
-                    "max_entries"} <= set(stats[kind]), kind
-        # The native compile cache is process-global and sha-keyed, so
-        # its counter surface differs from the LRU caches.
-        assert set(stats["native_cache"]) == {
-            "compiles", "disk_hits", "mem_hits", "failures",
-            "fallbacks", "entries",
+                     "kernelc_cache", "native_cache", "tune_cache"):
+            assert self.CANONICAL <= set(stats[kind]), kind
+        # The native compile cache keeps its historical sha-keyed
+        # counters next to the normalized aliases.
+        assert set(stats["native_cache"]) == self.CANONICAL | {
+            "compiles", "disk_hits", "mem_hits", "failures", "fallbacks",
+        }
+        # The tuning DB adds its probe bookkeeping to the schema.
+        assert set(stats["tune_cache"]) == self.CANONICAL | {
+            "writes", "corrupt", "probes", "probe_fallbacks",
         }
         # The tiled lowering is a chain-cache entry kind: its key
         # includes the tiling request, so fused and tiled coexist.
         assert stats["chain_cache"]["entries"] >= 1
         assert "stats_copy" in stats["kernels"]
+
+    def test_profile_snapshot_surfaces_in_stats(self):
+        rt = Runtime("vectorized")
+        s1 = Set(8, "prof")
+        a, b = Dat(s1, 1, 1.0), Dat(s1, 1)
+        par_loop(stats_copy, s1,
+                 arg_dat(a, IDX_ID, None, READ),
+                 arg_dat(b, IDX_ID, None, WRITE), runtime=rt)
+        profile = rt.stats()["profile"]
+        assert "stats_copy" in profile["loops"]
+        entry = profile["loops"]["stats_copy"]
+        assert entry["calls"] == 1
+        assert entry["kind"] == "direct"
+        assert entry["est_bytes"] > 0
+        assert entry["seconds"] >= 0
 
     def test_clear_caches_resets_counters(self):
         rt = Runtime("sequential")
@@ -277,4 +300,6 @@ class TestNativeCacheCounters:
         assert np.array_equal(b.data, np.ones((16, 1)))  # vec fallback ran
         s = rt.stats()["native_cache"]
         assert s == {"compiles": 0, "disk_hits": 0, "mem_hits": 0,
-                     "failures": 0, "fallbacks": 0, "entries": 0}
+                     "failures": 0, "fallbacks": 0, "entries": 0,
+                     "hits": 0, "misses": 0, "evictions": 0,
+                     "max_entries": None}

@@ -19,11 +19,10 @@ from repro.core import (
     Set,
     arg_mat,
     kernel,
-    make_backend,
     par_loop,
 )
 from repro.solve import CGResult, MatOperator, cg, make_spmv_kernel
-from repro.testing import BACKEND_MATRIX, LAYOUT_MATRIX
+from repro.testing import BACKEND_MATRIX, LAYOUT_MATRIX, runtime_for
 
 
 @kernel("ring_stiffness")
@@ -116,8 +115,7 @@ class TestCGDeterminism:
     def _solve(self, backend, scheme, options, layout=None, chained=False,
                tiling=None):
         nodes, mat, bvals = ring_system()
-        rt = Runtime(make_backend(backend, **options), scheme=scheme,
-                     layout=layout)
+        rt = runtime_for(backend, scheme, options, layout=layout)
         b = Dat(nodes, 1, bvals, name="b")
         x = Dat(nodes, 1, name="x")
         res = cg(MatOperator(mat), b, x, runtime=rt, tol=1e-12,
