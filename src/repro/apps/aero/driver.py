@@ -23,6 +23,26 @@ Everything mesh-sized is a parallel loop; the two host steps are the
 deterministic folds that make the assembled CSR and the solution
 *bitwise identical* across every backend, data layout and execution
 mode ({eager, chained, tiled}) — the aero acceptance property.
+
+The matrix-free path (``operator="matfree"``) replaces the middle of
+that pipeline: no staging scatter, no host folds, no assembled values.
+A :class:`~repro.solve.matfree.MatFreeOperator` re-derives the operator
+action from static per-element quadrature tables and the current
+density, so one Picard step becomes::
+
+    rho_calc    cells  phi -> rho
+    mf_coeffs   nodes  rho, tables -> action coefficients (raw + BC)
+    mf_kg       nodes  raw coeffs x lift -> kg
+    rhs_calc    nodes  kg, lift, bc -> b
+    apply_bc    nodes  far-field pin
+    cg          nodes  matfree A·p iterations
+
+— every stage a par_loop, so the whole pre-solve phase traces into a
+single unbroken chain.  The coefficient kernel folds element
+contributions in ``Mat.assemble``'s canonical order, which keeps phi
+and rho bitwise identical to the assembled oracle; ``operator="auto"``
+(the default) keeps the assembled path unless ``Runtime("auto")``'s
+tuner measures matfree faster.
 """
 
 from __future__ import annotations
@@ -48,9 +68,12 @@ from ...core import (
     par_loop,
 )
 from ...mesh import UnstructuredMesh, make_airfoil_mesh
-from ...solve import CGResult, MatOperator, cg
+from ...solve import CGResult, MatFreeOperator, MatOperator, cg
 from .constants import AeroConstants, DEFAULT_CONSTANTS
-from .kernels import make_kernels
+from .kernels import element_quadrature_tables, make_kernels
+
+#: Valid values of the ``operator=`` knob.
+OPERATOR_MODES = ("auto", "assembled", "matfree")
 
 
 @dataclass
@@ -96,6 +119,15 @@ class AeroSim:
         (requires ``chained=True``); bitwise identical too.
     cg_tol, cg_maxiter:
         Linear-solve controls for each Picard iteration.
+    operator:
+        Operator realization for the CG solve: ``"assembled"`` stages
+        and folds the CSR matrix every Picard step (the bitwise
+        oracle), ``"matfree"`` re-derives the operator action on the
+        fly (bitwise identical phi/rho, ``Mat.assemble`` never called),
+        ``"auto"`` (default) behaves like assembled but lets
+        ``Runtime("auto")``'s tuner measure and pick.  The matfree
+        path requires ``float64`` (its quadrature tables replicate the
+        float64 assembly arithmetic).
     """
 
     def __init__(
@@ -108,6 +140,7 @@ class AeroSim:
         tiling=None,
         cg_tol: float = 1e-10,
         cg_maxiter: int = 200,
+        operator: str = "auto",
     ) -> None:
         self.mesh = mesh if mesh is not None else make_airfoil_mesh(24, 12)
         self.dtype = np.dtype(dtype)
@@ -126,12 +159,36 @@ class AeroSim:
         self.tiling = tiling
         self.cg_tol = float(cg_tol)
         self.cg_maxiter = int(cg_maxiter)
+        if operator not in OPERATOR_MODES:
+            raise ValueError(
+                f"operator must be one of {OPERATOR_MODES}, "
+                f"got {operator!r}"
+            )
+        #: Whether the matfree axis is available to the tuner: the
+        #: quadrature tables replicate float64 assembly arithmetic.
+        self.operator_axis = np.dtype(dtype) == np.float64
+        if operator == "matfree" and not self.operator_axis:
+            raise ValueError(
+                "operator='matfree' requires dtype=float64 (the "
+                "quadrature tables replicate the float64 assembly "
+                "arithmetic bit for bit)"
+            )
+        #: Whether the caller chose the operator (a tuning pin).
+        self.operator_explicit = operator != "auto"
+        #: The realization steps execute with; "auto" resolves to
+        #: assembled unless the tuner installs matfree.
+        self.operator_mode = operator if operator != "auto" \
+            else "assembled"
         self.kernels: Dict[str, object] = make_kernels(constants)
         self.state = self._init_state()
         #: Padded-row SpMV operator over the assembled matrix (built
         #: once — the sparsity is pure connectivity).
         self.operator = MatOperator(self.state.mat)
         self.kernels["spmv"] = self.operator.kernel
+        #: Matrix-free twin over the same sparsity — always built (the
+        #: tuning signature must not fork on the operator mode), only
+        #: executed when the mode says so.
+        self.matfree = self._make_matfree()
         self.cg_results: List[CGResult] = []
         self.delta_history: List[float] = []
         self.iterations_run = 0
@@ -145,6 +202,26 @@ class AeroSim:
         from ...core.runtime import default_runtime
 
         return self.runtime if self.runtime is not None else default_runtime()
+
+    def _make_matfree(self) -> MatFreeOperator:
+        """Build the matrix-free twin of the assembled operator.
+
+        Static per-element quadrature tables come from the float64 mesh
+        coordinates (matching ``res_calc``'s arithmetic exactly); the
+        operator re-reads ``p_rho`` on every coefficient refresh, so
+        Picard updates flow through with no rebuild.
+        """
+        m, s = self.mesh, self.state
+        xs = np.asarray(m.coords, dtype=np.float64)[
+            m.map("cell2node").values
+        ]
+        with dat_layout(getattr(self.runtime, "layout", None)):
+            op = MatFreeOperator(
+                s.mat, element_quadrature_tables(xs), s.p_rho, s.p_bc,
+            )
+        self.kernels["mf_coeffs"] = op.kernels["coeffs"]
+        self.kernels["mf_kg"] = op.kernels["apply"]
+        return op
 
     # ------------------------------------------------------------------
     def _init_state(self) -> AeroState:
@@ -186,6 +263,7 @@ class AeroSim:
         self.state = self._init_state()
         self.operator = MatOperator(self.state.mat)
         self.kernels["spmv"] = self.operator.kernel
+        self.matfree = self._make_matfree()
         self._loop_args_cache = None
 
     # ------------------------------------------------------------------
@@ -222,8 +300,26 @@ class AeroSim:
                 arg_dat(s.p_bc, IDX_ID, None, READ),
                 arg_dat(s.p_phi, IDX_ID, None, RW),
             ),
+            # Matrix-free twins — always present (even in assembled
+            # mode) so the tuning signature is one per workload,
+            # independent of the operator axis.
+            "mf_coeffs": self.matfree.coeffs_args(),
+            "mf_kg": self.matfree.apply_args(s.p_lift, s.p_kg, raw=True),
         }
         return self._loop_args_cache
+
+    def _loop_operator_tags(self) -> Dict[str, str]:
+        """Which loops belong to which operator realization.
+
+        Loops absent from the map are shared by both modes; the tuner's
+        candidate model uses the tags to price an operator candidate
+        over only the loops it would actually run.
+        """
+        return {
+            "res_calc": "assembled",
+            "mf_coeffs": "matfree",
+            "mf_kg": "matfree",
+        }
 
     def _run_loop(self, name: str) -> None:
         set_, *args = self._loop_args()[name]
@@ -249,18 +345,37 @@ class AeroSim:
         s.mat.set_dirichlet(self.bc_mask)
         self._run_loop("apply_bc")
 
+    def _matfree_system(self) -> None:
+        """The matrix-free pre-solve half of one step.
+
+        Pure par_loops — no staging, no host folds, ``Mat.assemble``
+        never called — so under chained dispatch the entire phase
+        traces into one unbroken chain that only flushes when CG first
+        reads a scalar.
+        """
+        self._run_loop("rho_calc")
+        self._run_loop("mf_coeffs")
+        # RHS from the Dirichlet lift through the *raw* operator
+        # (pre-elimination coupling): b_free = -(K g)_free, b_bc = g.
+        self._run_loop("mf_kg")
+        self._run_loop("rhs_calc")
+        self._run_loop("apply_bc")
+
     def step(self) -> float:
         """One Picard iteration; returns ``max |phi_new - phi_old|``."""
         rt = self._runtime()
         s = self.state
+        matfree = self.operator_mode == "matfree"
+        build = self._matfree_system if matfree else self._assemble_system
         phi_old = s.p_phi.data[: self.mesh.nodes.size, 0].copy()
         if self.chained:
             with rt.chain(tiling=self.tiling):
-                self._assemble_system()
+                build()
         else:
-            self._assemble_system()
+            build()
         result = cg(
-            self.operator, s.p_b, s.p_phi, runtime=self.runtime,
+            self.matfree if matfree else self.operator,
+            s.p_b, s.p_phi, runtime=self.runtime,
             tol=self.cg_tol, maxiter=self.cg_maxiter,
             chained=self.chained, tiling=self.tiling,
         )

@@ -23,6 +23,7 @@ from .measured import (
     batch_ablation,
     kernelc_ablation,
     loop_chain_ablation,
+    matfree_ablation,
     measured_speedups,
     native_ablation,
     tiling_ablation,
@@ -173,6 +174,9 @@ def main(argv=None) -> int:
         native_t = native_ablation(mesh=make_airfoil_mesh(48, 24), steps=5)
         print(native_t.render())
         print(f"[saved {native_t.save('ablation_native', args.outdir)}]\n")
+        mf_t = matfree_ablation(mesh=make_airfoil_mesh(96, 48))
+        print(mf_t.render())
+        print(f"[saved {mf_t.save('ablation_matfree', args.outdir)}]\n")
         auto_t = autotune_ablation(steps=2, repeats=5)
         print(auto_t.render())
         print(f"[saved {auto_t.save('ablation_autotune', args.outdir)}]\n")
@@ -218,6 +222,9 @@ def main(argv=None) -> int:
         table = native_ablation()
         print(table.render())
         table.save("ablation_native", args.outdir)
+        table = matfree_ablation()
+        print(table.render())
+        table.save("ablation_matfree", args.outdir)
         table = autotune_ablation()
         print(table.render())
         table.save("ablation_autotune", args.outdir)

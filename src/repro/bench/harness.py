@@ -70,7 +70,7 @@ class ReportTable:
     def render(self) -> str:
         if not self.rows:
             return f"== {self.title} ==\n(no rows)\n"
-        cols = list(self.rows[0].keys())
+        cols = list(dict.fromkeys(c for r in self.rows for c in r))
         widths = {
             c: max(len(c), *(len(_fmt(r.get(c, ""))) for r in self.rows))
             for c in cols

@@ -52,6 +52,9 @@ def time_app(
     chained: Optional[bool] = False,
     tiling=None,
     strip_vector_forms: bool = False,
+    operator: Optional[str] = None,
+    cg_tol: Optional[float] = None,
+    warm_steps: int = 1,
 ) -> float:
     """Median wall-clock seconds for ``steps`` solver steps.
 
@@ -73,6 +76,15 @@ def time_app(
     construction, outside the timed region) and then timed on whatever
     configuration the tuner picked; pass ``chained=None`` to leave the
     dispatch mode to the tuner too.
+
+    ``operator`` and ``cg_tol`` are aero-only: the operator realization
+    knob ("assembled"/"matfree"; ``None`` keeps the driver default,
+    which under ``backend="auto"`` leaves the axis to the tuner) and an
+    override for the fixed CG tolerance (the matfree ablation measures
+    the assembly-dominated loose-tolerance regime).  ``warm_steps``
+    runs extra untimed steps beyond the cache warm-up — aero's early
+    Picard steps spend far more CG iterations than the warm-started
+    steady state, so build-phase ablations warm past them.
     """
     times = []
     for _ in range(max(1, repeats)):
@@ -107,14 +119,16 @@ def time_app(
             sim = AeroSim(
                 mesh if mesh is not None else make_airfoil_mesh(24, 12),
                 runtime=rt, chained=chained, tiling=tiling,
-                cg_tol=1e-8, cg_maxiter=100,
+                cg_tol=1e-8 if cg_tol is None else cg_tol, cg_maxiter=100,
+                **({} if operator is None else {"operator": operator}),
             )
         else:
             raise ValueError(f"Unknown app {app!r}")
         if strip_vector_forms:
             for k in sim.kernels.values():
                 k.vector = None
-        sim.step()  # warm-up: builds and caches all plans
+        for _ in range(max(1, warm_steps)):  # builds and caches all plans
+            sim.step()
         if cold_caches:
             t0 = time.perf_counter()
             for _ in range(steps):
@@ -570,6 +584,76 @@ def native_ablation(
         "every row.  Without a C compiler the native rows silently run "
         "the vectorized path (ratio ~1.0) — see the compiler_available "
         "meta flag."
+    )
+    return t
+
+
+def matfree_ablation(
+    mesh: Optional[UnstructuredMesh] = None,
+    steps: int = 5,
+    repeats: int = 5,
+    cg_tol: float = 1e-3,
+) -> ReportTable:
+    """Assembled CSR vs generated matrix-free operator (warm, native).
+
+    The matrix-free acceptance artifact: the same warm-started aero
+    Picard steps run with (a) the assembled pipeline (element staging →
+    host CSR fold → Dirichlet masking → padded-row SpMV), (b) the
+    matrix-free operator (generated A·p action kernels, no host work in
+    the hot path), and (c) ``backend="auto"`` with the operator axis
+    left to the tuner.  A loose CG tolerance plus warm-started timing
+    (the first Picard steps, with their long cold CG solves, run
+    untimed) keeps the steps assembly-dominated — the regime the
+    operator knob exists for.  All
+    three rows produce bitwise-identical solutions (pinned by
+    ``tests/test_matfree.py``), so the ratios are pure execution cost
+    (acceptance: warm matfree ≥ 1.2x warm assembled; guarded by
+    ``repro.bench.regression``).
+    """
+    from ..kernelc import compiler_available
+
+    if mesh is None:
+        mesh = make_airfoil_mesh(96, 48)
+    t = ReportTable(
+        "Ablation: assembled CSR vs matrix-free operator - aero (warm)"
+    )
+    t.meta.update({
+        "app": "aero", "steps": steps, "repeats": repeats,
+        "knob": "operator", "cg_tol": cg_tol,
+        "mesh_cells": mesh.cells.size,
+        "compiler_available": bool(compiler_available()),
+    })
+    times = {}
+    for operator in ("assembled", "matfree", "auto"):
+        auto = operator == "auto"
+        times[operator] = time_app(
+            "aero", "auto" if auto else "native", "two_level", {},
+            mesh=mesh, steps=steps, repeats=repeats,
+            chained=None if auto else True,
+            operator=None if auto else operator, cg_tol=cg_tol,
+            warm_steps=4,
+        )
+    base = times["assembled"]
+    for operator, dt in times.items():
+        # The auto row reports under its own column: the tuner may
+        # legitimately pick assembled on machines where matfree does
+        # not pay, so its ratio is informational, not a guarded
+        # fast-path entry (bench/regression.py keys on the metric name).
+        metric = ("auto vs assembled" if operator == "auto"
+                  else "speedup vs assembled")
+        t.add(
+            operator=operator,
+            **{
+                "ms/step": round(dt * 1e3, 3),
+                metric: round(base / dt, 2),
+            },
+        )
+    t.note(
+        "Matfree rebuilds the operator coefficients per Picard step as "
+        "ordinary generated par_loops (repro/solve/matfree.py) and "
+        "never calls Mat.assemble(); the auto row lets the tuner "
+        "negotiate the operator axis alongside backend/layout/dispatch "
+        "(docs/architecture.md, matrix-free operators)."
     )
     return t
 

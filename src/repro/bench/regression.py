@@ -61,6 +61,8 @@ SPECS: List[Tuple[str, Tuple[str, ...], str, Optional[str]]] = [
     ("ablation_aero", ("Backend",), "speedup vs vec eager", "scalar"),
     ("ablation_native", ("app", "Backend"), "native speedup vs vec",
      "scalar"),
+    ("ablation_matfree", ("operator",), "speedup vs assembled",
+     "assembled"),
     ("ablation_autotune", ("app",), "auto vs best", None),
 ]
 
@@ -68,6 +70,11 @@ SPECS: List[Tuple[str, Tuple[str, ...], str, Optional[str]]] = [
 #: independent of the committed baseline, CI fails whenever the tuned
 #: configuration runs more than 10% behind the best hand pick.
 AUTOTUNE_FLOOR = 0.90
+
+#: Absolute floor for the matrix-free operator: warm matfree Picard
+#: steps must beat warm assembled by at least this ratio on the native
+#: backend (the matrix-free acceptance bar), baseline or not.
+MATFREE_FLOOR = 1.2
 
 
 def _load_rows(results_dir: Path, artifact: str) -> Optional[List[Dict]]:
@@ -174,6 +181,19 @@ def check(
                 f"ablation_autotune {fresh['key']}: auto-tuned run is "
                 f"{fresh['value']:.2f}x the best hand-picked "
                 f"configuration (floor {AUTOTUNE_FLOOR})"
+            )
+        # The matrix-free operator carries its own absolute acceptance
+        # bar: warm matfree must clear warm assembled by MATFREE_FLOOR
+        # on the native backend (the auto row only needs the relative
+        # baseline guard — the tuner may legitimately pick assembled
+        # on machines where matfree does not pay).
+        if (fresh["artifact"] == "ablation_matfree"
+                and fresh["key"].get("operator") == "matfree"
+                and fresh["value"] < MATFREE_FLOOR):
+            failures.append(
+                f"ablation_matfree: warm matrix-free steps are only "
+                f"{fresh['value']:.2f}x warm assembled "
+                f"(floor {MATFREE_FLOOR})"
             )
     return failures
 

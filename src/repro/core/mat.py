@@ -24,8 +24,13 @@ a different answer per backend/scheme.  We split assembly in two:
    tiling mode — and the staged values are *bitwise identical* across
    all of them.
 2. **Canonical reduction** — :meth:`Mat.assemble` folds the staged
-   contributions into CSR in one fixed order (CSR slot major, element
-   minor, via a precomputed stable permutation and ``np.add.reduceat``),
+   contributions into CSR in one fixed order: CSR slot major, element
+   minor, each slot summed left to right from ``0.0`` over a
+   precomputed fixed-width contribution table (:attr:`Mat.fold_table`,
+   padded with a synthetic always-zero contribution).  The order is
+   *explicit* — a plain sequential sum a generated kernel can replicate
+   term for term — rather than delegated to a NumPy reduction whose
+   internal association is an implementation detail, and it is
    independent of how the loop executed.
 
 The assembled CSR is therefore a pure function of the mesh and the
@@ -121,12 +126,21 @@ class Mat:
         self._indptr: Optional[np.ndarray] = None
         self._indices: Optional[np.ndarray] = None
         self._nnz = 0
-        self._reduce_order: Optional[np.ndarray] = None
-        self._reduce_starts: Optional[np.ndarray] = None
+        self._fold_table: Optional[np.ndarray] = None
+        self._fold_width = 0
+        self._n_staged = 0
+        self._slot_rows: Optional[np.ndarray] = None
         self._nnz_set: Optional[Set] = None
         self._values: Optional[Dat] = None
         self._solver_view: Optional[Tuple[Map, Map]] = None
+        self._dirichlet_cache: Optional[
+            Tuple[np.ndarray, np.ndarray, np.ndarray]
+        ] = None
         self.assembled = False
+        #: Number of :meth:`assemble` folds performed over this Mat's
+        #: lifetime — the matrix-free acceptance tests pin "at most one
+        #: assemble per solve" on this counter.
+        self.assemble_calls = 0
 
     # ------------------------------------------------------------------
     @property
@@ -170,12 +184,35 @@ class Mat:
         ).astype(np.int64)
         # Canonical reduction order: CSR slot major, staging (= element)
         # order minor — the stable sort pins the element-minor tiebreak,
-        # so the fold order never depends on how the loop executed.
-        self._reduce_order = np.argsort(inverse, kind="stable")
+        # so the fold order never depends on how the loop executed.  The
+        # order is materialized as a fixed-width per-slot contribution
+        # table (row = CSR slot, columns = staged-entry indices in fold
+        # order, padded with the synthetic zero contribution
+        # ``n_staged``): assemble() sums its columns left to right, and
+        # the matrix-free action kernels replicate exactly that fold.
+        n_staged = inverse.size
+        order = np.argsort(inverse, kind="stable")
         slot_counts = np.bincount(inverse, minlength=self._nnz)
-        self._reduce_starts = np.concatenate(
+        starts = np.concatenate(
             ([0], np.cumsum(slot_counts)[:-1])
         ).astype(np.int64)
+        width = int(slot_counts.max(initial=1))
+        self._n_staged = int(n_staged)
+        self._fold_width = max(width, 1)
+        table = np.full(
+            (self._nnz + 1, self._fold_width), n_staged, dtype=np.int64
+        )
+        slot_ids = np.repeat(
+            np.arange(self._nnz, dtype=np.int64), slot_counts
+        )
+        pos = np.arange(n_staged, dtype=np.int64) - starts[slot_ids]
+        table[slot_ids, pos] = order
+        self._fold_table = table
+        # Row index of every CSR slot (shared by set_dirichlet, the
+        # solver view and the host-side conveniences).
+        self._slot_rows = np.repeat(
+            np.arange(self.nrows, dtype=np.int64), counts
+        )
         # Values live in a Dat over the nonzero set so SpMV can read
         # them through maps like any other par_loop operand; one extra
         # trailing slot stays 0.0 forever — the padding target of the
@@ -200,6 +237,32 @@ class Mat:
     def nnz(self) -> int:
         self._ensure_sparsity()
         return self._nnz
+
+    @property
+    def fold_table(self) -> np.ndarray:
+        """Canonical-fold contribution table, ``(nnz + 1, fold_width)``.
+
+        Row ``s`` lists the staged-entry indices that accumulate into
+        CSR slot ``s``, in the canonical (element-minor) order, padded
+        with the synthetic zero contribution ``n_staged``; the trailing
+        row (the solver view's always-zero pad slot) is all padding.
+        :meth:`assemble` sums the columns left to right from ``0.0``,
+        which is the exact fold the matrix-free kernels replicate.
+        """
+        self._ensure_sparsity()
+        return self._fold_table
+
+    @property
+    def fold_width(self) -> int:
+        """Maximum contributions per CSR slot (fold-table width)."""
+        self._ensure_sparsity()
+        return self._fold_width
+
+    @property
+    def n_staged(self) -> int:
+        """Staged contribution count (= elements × local entries)."""
+        self._ensure_sparsity()
+        return self._n_staged
 
     @property
     def values(self) -> Dat:
@@ -232,18 +295,26 @@ class Mat:
         Reading ``staging.data`` here is also the deferred-execution
         barrier: a pending loop chain that recorded the assembly loop
         flushes first, so ``assemble()`` always folds the final staged
-        values.  The fold itself is ``np.add.reduceat`` over the
-        canonical (CSR-slot-major, element-minor) permutation — a fixed
-        left-to-right summation order, independent of backend, scheme,
-        layout, chaining and tiling.
+        values.  The fold is an explicit left-to-right sum from ``0.0``
+        over :attr:`fold_table` (CSR-slot-major, element-minor, padded
+        entries contributing an exact ``+0.0``) — a fixed, term-for-term
+        replicable summation order, independent of backend, scheme,
+        layout, chaining and tiling, and reproduced bit for bit by the
+        matrix-free coefficient kernels.
         """
         self._ensure_sparsity()
         staged = self.staging.data[: self.elem_set.total_size]
-        flat = np.ascontiguousarray(staged).reshape(-1)
-        self._values.data[: self._nnz, 0] = np.add.reduceat(
-            flat[self._reduce_order], self._reduce_starts
+        flat = np.ascontiguousarray(staged).reshape(-1)[: self._n_staged]
+        padded = np.concatenate(
+            [flat, np.zeros(1, dtype=flat.dtype)]
         )
+        acc = np.zeros(self._nnz, dtype=flat.dtype)
+        table = self._fold_table
+        for c in range(self._fold_width):
+            acc += padded[table[: self._nnz, c]]
+        self._values.data[: self._nnz, 0] = acc
         self.assembled = True
+        self.assemble_calls += 1
         return self
 
     def set_dirichlet(self, row_mask: np.ndarray, diag: float = 1.0) -> None:
@@ -254,6 +325,11 @@ class Mat:
         rows (the symmetric elimination — move the known-value coupling
         to the right-hand side first, e.g. via ``mat @ lift``).  Host
         side and deterministic, like :meth:`assemble`.
+
+        The drop/diagonal slot selections depend only on the sparsity
+        and the mask, so they are memoized: Picard iterations reapplying
+        the same boundary mask every step pay two fancy-indexed stores
+        and nothing else (no per-step index allocation).
         """
         self._ensure_sparsity()
         mask = np.asarray(row_mask, dtype=bool)
@@ -261,13 +337,16 @@ class Mat:
             raise ValueError(
                 f"row_mask must have shape ({self.nrows},), got {mask.shape}"
             )
-        rows = np.repeat(
-            np.arange(self.nrows, dtype=np.int64), np.diff(self._indptr)
-        )
+        cached = self._dirichlet_cache
+        if cached is None or not np.array_equal(cached[0], mask):
+            rows = self._slot_rows
+            drop = mask[rows] | mask[self._indices]
+            diag_slots = (rows == self._indices) & mask[rows]
+            cached = (mask.copy(), drop, diag_slots)
+            self._dirichlet_cache = cached
+        _, drop, diag_slots = cached
         vals = self._values.data
-        drop = mask[rows] | mask[self._indices]
         vals[: self._nnz, 0][drop] = 0.0
-        diag_slots = (rows == self._indices) & mask[rows]
         vals[: self._nnz, 0][diag_slots] = diag
 
     # ------------------------------------------------------------------
@@ -302,8 +381,7 @@ class Mat:
         cols = np.tile(
             np.arange(self.nrows, dtype=np.int64)[:, None], (1, width)
         )
-        degrees = np.diff(self._indptr)
-        rows = np.repeat(np.arange(self.nrows, dtype=np.int64), degrees)
+        rows = self._slot_rows
         position = np.arange(self._nnz, dtype=np.int64) - self._indptr[rows]
         slots[rows, position] = np.arange(self._nnz, dtype=np.int64)
         cols[rows, position] = self._indices
@@ -327,24 +405,14 @@ class Mat:
             )
         vals = self.data
         y = np.zeros(self.nrows, dtype=self.dtype)
-        np.add.at(
-            y,
-            np.repeat(
-                np.arange(self.nrows, dtype=np.int64),
-                np.diff(self._indptr),
-            ),
-            vals * x[self._indices],
-        )
+        np.add.at(y, self._slot_rows, vals * x[self._indices])
         return y
 
     def todense(self) -> np.ndarray:
         """Dense ``(nrows, ncols)`` copy (small meshes / tests only)."""
         self._ensure_sparsity()
         dense = np.zeros((self.nrows, self.ncols), dtype=self.dtype)
-        rows = np.repeat(
-            np.arange(self.nrows, dtype=np.int64), np.diff(self._indptr)
-        )
-        dense[rows, self._indices] = self.data
+        dense[self._slot_rows, self._indices] = self.data
         return dense
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -32,6 +32,7 @@ requests the generated vector form through
 :meth:`repro.core.kernel.Kernel.vector_for`.
 """
 
+from .flops import estimate_flops
 from .cache import (
     DEFAULT_KERNELC_CACHE_ENTRIES,
     GLOBAL_CACHE,
@@ -78,6 +79,7 @@ __all__ = [
     "compiler_available",
     "emit_chain_source",
     "emit_vector_source",
+    "estimate_flops",
     "generate_loop_source",
     "kernel_ir",
     "loop_shape_key",

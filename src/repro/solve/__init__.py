@@ -12,11 +12,19 @@ the iterate sequence) bitwise identical across backends.
 
 from .cg import CGResult, MatOperator, cg
 from .kernels import make_cg_kernels, make_spmv_kernel
+from .matfree import (
+    MAX_FOLD_CONTRIBUTIONS,
+    MatFreeOperator,
+    make_matfree_kernels,
+)
 
 __all__ = [
     "CGResult",
     "MatOperator",
+    "MatFreeOperator",
+    "MAX_FOLD_CONTRIBUTIONS",
     "cg",
     "make_cg_kernels",
+    "make_matfree_kernels",
     "make_spmv_kernel",
 ]

@@ -27,7 +27,7 @@ from __future__ import annotations
 import time
 from typing import Optional
 
-from .model import Pins, TuneCandidate
+from .model import Pins, TuneCandidate, default_candidates
 from .profile import RuntimeProfile
 from .signature import chain_signature
 from .tuner import TuneDecision, Tuner
@@ -58,7 +58,16 @@ def _sim_pins(sim, runtime) -> Pins:
                  else None),
         tiling=sim.tiling,
         tiling_pinned=sim.tiling is not None,
+        operator=(sim.operator_mode
+                  if getattr(sim, "operator_explicit", False) else None),
     )
+
+
+def _sim_operators(sim):
+    """The sim's operator axis (``None`` when the app has none)."""
+    if getattr(sim, "operator_axis", False):
+        return ("assembled", "matfree")
+    return None
 
 
 def sim_signature(sim, runtime) -> str:
@@ -92,9 +101,12 @@ def _probe_runner(sim, app: str, block_size: int):
             block_size=block_size,
             layout=candidate.layout,
         )
+        kw = dict(kwargs)
+        if candidate.operator is not None:
+            kw["operator"] = candidate.operator
         trial = type(sim)(
             sim.mesh, dtype=sim.dtype, runtime=rt,
-            chained=candidate.chained, tiling=candidate.tiling, **kwargs,
+            chained=candidate.chained, tiling=candidate.tiling, **kw,
         )
         trial.step()  # warm-up: plans, chains, compiled kernels
         t0 = time.perf_counter()
@@ -122,6 +134,8 @@ def apply_decision(sim, runtime, decision: TuneDecision) -> None:
     runtime.apply_decision(decision)
     sim.chained = bool(decision.chained)
     sim.tiling = decision.tiling if decision.chained else None
+    if decision.operator is not None and hasattr(sim, "operator_mode"):
+        sim.operator_mode = decision.operator
     if (
         decision.layout is not None
         and _state_layout(sim) not in (None, decision.layout)
@@ -144,13 +158,27 @@ def autotune_sim(sim, runtime=None, tuner: Optional[Tuner] = None):
         apply_decision(sim, rt, rt.tuned_decision)
         return rt.tuned_decision
     profile = RuntimeProfile()
+    tags = getattr(sim, "_loop_operator_tags", lambda: {})()
+    kernel_tags = {}
     for name, set_, args in _sim_loops(sim):
         profile.register_loop(sim.kernels[name], set_, args)
+        kernel_tags[getattr(sim.kernels[name], "name", name)] = \
+            tags.get(name)
+    loop_infos = profile.loop_infos()
+    for info in loop_infos:
+        info["operator"] = kernel_tags.get(info["name"])
+    pins = _sim_pins(sim, rt)
+    operators = _sim_operators(sim)
+    candidates = (
+        default_candidates(pins, operators=operators)
+        if operators else None
+    )
     decision = (tuner or Tuner()).negotiate(
         sim_signature(sim, rt),
         probe=_probe_runner(sim, app, rt.block_size),
-        pins=_sim_pins(sim, rt),
-        loop_infos=profile.loop_infos(),
+        candidates=candidates,
+        pins=pins,
+        loop_infos=loop_infos,
     )
     apply_decision(sim, rt, decision)
     return decision

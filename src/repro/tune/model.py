@@ -11,7 +11,7 @@ execution decisions (pinned by ``tests/test_autotune.py``).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence
 
 
@@ -23,12 +23,16 @@ class TuneCandidate:
     layout: str = "aos"
     chained: bool = True
     tiling: object = None  # None | "auto" | int
+    #: Operator realization for apps that offer one ("assembled" |
+    #: "matfree"); ``None`` for workloads without the axis.
+    operator: Optional[str] = None
 
     def label(self) -> str:
         mode = "eager"
         if self.chained:
             mode = "chained" if self.tiling is None else f"tiled({self.tiling})"
-        return f"{self.backend}/{self.layout}/{mode}"
+        base = f"{self.backend}/{self.layout}/{mode}"
+        return base if self.operator is None else f"{base}/{self.operator}"
 
 
 @dataclass(frozen=True)
@@ -39,6 +43,7 @@ class Pins:
     chained: Optional[bool] = None
     tiling: object = None
     tiling_pinned: bool = False
+    operator: Optional[str] = None
 
 
 #: How each backend consumes the calibration's efficiency tables.
@@ -68,15 +73,27 @@ _PER_LOOP_S = {"scalar": 3e-5, "vec": 1.2e-4, "auto": 1.5e-4,
 #: efficiency fractions, not this peak.
 DEFAULT_PEAK_GBS = 25.0
 
+#: Assumed batched-arithmetic peak for the compute roofline term
+#: (GFLOP/s); like the bandwidth peak, only the ratio matters.
+DEFAULT_PEAK_GFLOPS = 50.0
+
+#: The roofline ridge point: loops above this arithmetic intensity
+#: (flops per useful byte) are compute-bound, below it bandwidth-bound.
+MACHINE_BALANCE_FLOPS_PER_BYTE = DEFAULT_PEAK_GFLOPS / DEFAULT_PEAK_GBS
+
 
 def default_candidates(
-    pins: Optional[Pins] = None, compiler_ok: Optional[bool] = None
+    pins: Optional[Pins] = None,
+    compiler_ok: Optional[bool] = None,
+    operators: Optional[Sequence[str]] = None,
 ) -> List[TuneCandidate]:
     """The negotiated space, filtered by the caller's explicit pins.
 
     Kept deliberately small (probes are wall-clock): the vectorized
     backend across layout x {chained, tiled, eager}, plus the native
-    chain JIT when a C compiler is available.
+    chain JIT when a C compiler is available.  ``operators`` crosses
+    the grid with an app-provided operator axis (e.g. aero's
+    ``("assembled", "matfree")``), respecting an operator pin.
     """
     if compiler_ok is None:
         from ..kernelc import compiler_available
@@ -112,6 +129,12 @@ def default_candidates(
                     cands.append(
                         TuneCandidate("native", "aos", True, pins.tiling)
                     )
+    if operators:
+        ops = list(operators)
+        if pins is not None and pins.operator is not None:
+            ops = [op for op in ops if op == pins.operator] \
+                or [pins.operator]
+        cands = [replace(c, operator=op) for c in cands for op in ops]
     return cands
 
 
@@ -120,6 +143,7 @@ def predict_candidate(
     loop_infos: Sequence[Dict],
     calibration=None,
     peak_gbs: float = DEFAULT_PEAK_GBS,
+    peak_gflops: float = DEFAULT_PEAK_GFLOPS,
 ) -> float:
     """Predicted seconds per step for one candidate.
 
@@ -129,8 +153,17 @@ def predict_candidate(
     (``mem_eff_scalar`` / ``mem_eff_vec`` / ``mem_eff_auto`` — the
     tables fitted against the paper, or refitted from measured
     profiles by :func:`repro.perfmodel.fit_calibration_from_profile`).
-    Dispatch and interpretation overheads separate the backends where
-    traffic alone cannot.
+    Each loop is priced as a two-term roofline,
+    ``max(bytes / bandwidth, flops / peak_gflops)`` — the flops leg
+    (from the IR-derived profile estimates) is what makes a
+    compute-bound matrix-free action comparable against a
+    bandwidth-bound assembled SpMV.  Dispatch and interpretation
+    overheads separate the backends where traffic alone cannot.
+
+    When the candidate carries an operator tag, loops tagged with a
+    *different* operator are skipped: an ``operator="matfree"``
+    candidate is priced over the matfree loops plus the shared
+    (untagged) ones, never over the assembled-only loops it replaces.
     """
     if calibration is None:
         from ..perfmodel import CALIBRATION
@@ -152,6 +185,11 @@ def predict_candidate(
     per_loop = _PER_LOOP_S[over_style]
     if candidate.chained:
         per_loop *= 0.55  # fused replay: no per-loop lookups/validation
+    if candidate.operator is not None:
+        loop_infos = [
+            info for info in loop_infos
+            if info.get("operator") in (None, candidate.operator)
+        ]
     t = 0.0
     nloops = max(len(loop_infos), 1)
     for info in loop_infos:
@@ -164,7 +202,8 @@ def predict_candidate(
             mem *= 0.9 if nloops >= 3 else 1.05
         if candidate.layout == "soa" and mem_style != "scalar":
             mem *= 0.98 if info.get("kind") == "direct" else 1.0
-        t += mem + float(info.get("n", 0)) * per_elem
+        comp = float(info.get("flops", 0.0)) / (peak_gflops * 1e9)
+        t += max(mem, comp) + float(info.get("n", 0)) * per_elem
     t += nloops * per_loop
     return t
 

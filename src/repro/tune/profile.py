@@ -8,6 +8,11 @@ module adds what the tuner and the calibration fit need on top:
   bytes per element (:func:`repro.perfmodel.analyze_loop`'s
   infinite-cache convention), derived once per loop-cache miss from the
   plan metadata the runtime resolves anyway;
+* a **compute profile** per loop — flops per element counted from the
+  kernel's parsed IR (:func:`repro.kernelc.estimate_flops`), the axis
+  that lets the tuner tell a compute-bound loop (matrix-free quadrature
+  re-evaluation) from a bandwidth-bound one (SpMV) when bytes alone
+  cannot;
 * **per-chain wall time** recorded at every flush.
 
 Registration is defensive end to end: a loop shape the transfer model
@@ -61,9 +66,17 @@ class RuntimeProfile:
             bytes_per_element = lt.useful_bytes(n, sizes, itemsize) / n
         except Exception:
             pass  # unanalyzable shape: keep the coarse record
+        flops_per_element = 0.0
+        try:
+            from ..kernelc import estimate_flops
+
+            flops_per_element = float(estimate_flops(kernel))
+        except Exception:
+            pass  # profiling must never break execution
         self.loops[name] = {
             "kind": kind,
             "bytes_per_element": float(bytes_per_element),
+            "flops_per_element": flops_per_element,
             "n": n,
         }
 
@@ -85,7 +98,9 @@ class RuntimeProfile:
         """Per-loop records in the shape the candidate model consumes."""
         return [
             {"name": name, "n": info["n"], "kind": info["kind"],
-             "bytes": float(info["bytes_per_element"]) * int(info["n"])}
+             "bytes": float(info["bytes_per_element"]) * int(info["n"]),
+             "flops": float(info.get("flops_per_element", 0.0))
+             * int(info["n"])}
             for name, info in self.loops.items()
         ]
 
@@ -95,29 +110,47 @@ class RuntimeProfile:
         Joins the static per-loop estimates with the backend's measured
         ``LoopStats`` (calls / seconds / elements); ``est_gbs`` is the
         achieved useful bandwidth under the infinite-cache convention —
-        the number the calibration fit consumes.
+        the number the calibration fit consumes.  ``est_flops`` /
+        ``est_gflops`` are the IR-derived compute totals, and ``bound``
+        classifies the loop as ``"compute"`` or ``"bandwidth"`` by its
+        arithmetic intensity against the model's machine balance
+        (:data:`repro.tune.model.MACHINE_BALANCE_FLOPS_PER_BYTE`).
         """
+        from .model import MACHINE_BALANCE_FLOPS_PER_BYTE
+
         loops: Dict[str, Dict[str, object]] = {}
         for name, info in self.loops.items():
+            fpe = float(info.get("flops_per_element", 0.0))
+            bpe = float(info["bytes_per_element"])
             entry: Dict[str, object] = {
                 "kind": info["kind"],
-                "bytes_per_element": info["bytes_per_element"],
+                "bytes_per_element": bpe,
+                "flops_per_element": fpe,
+                "bound": (
+                    "compute"
+                    if fpe > bpe * MACHINE_BALANCE_FLOPS_PER_BYTE
+                    else "bandwidth"
+                ),
                 "calls": 0,
                 "seconds": 0.0,
                 "elements": 0,
                 "est_bytes": 0,
+                "est_flops": 0,
                 "est_gbs": 0.0,
+                "est_gflops": 0.0,
             }
             st = (backend_stats or {}).get(name)
             if st is not None:
                 entry["calls"] = int(st.calls)
                 entry["seconds"] = float(st.elapsed)
                 entry["elements"] = int(st.elements)
-                entry["est_bytes"] = int(
-                    float(info["bytes_per_element"]) * st.elements
-                )
+                entry["est_bytes"] = int(bpe * st.elements)
+                entry["est_flops"] = int(fpe * st.elements)
                 if st.elapsed > 0:
                     entry["est_gbs"] = float(entry["est_bytes"]) / (
+                        st.elapsed * 1e9
+                    )
+                    entry["est_gflops"] = float(entry["est_flops"]) / (
                         st.elapsed * 1e9
                     )
             loops[name] = entry

@@ -43,6 +43,10 @@ class TuneDecision:
     layout: str
     chained: bool
     tiling: object
+    #: Operator realization for apps with the axis ("assembled" |
+    #: "matfree"); ``None`` for workloads without one (and for
+    #: decisions persisted before the axis existed).
+    operator: Optional[str] = None
     #: "db" (persisted replay), "probe" (measured now), "model"
     #: (prediction only, probing unavailable), "fallback" (every probe
     #: failed) or "disabled" (REPRO_TUNE_DISABLE).
@@ -60,6 +64,7 @@ class TuneDecision:
             layout=str(doc.get("layout", "aos")),
             chained=bool(doc.get("chained", True)),
             tiling=doc.get("tiling"),
+            operator=doc.get("operator"),
             source=source,
             probed=int(doc.get("probed", 0)),
             probe_s=doc.get("probe_s"),
@@ -67,7 +72,7 @@ class TuneDecision:
 
     def candidate(self) -> TuneCandidate:
         return TuneCandidate(self.backend, self.layout, self.chained,
-                             self.tiling)
+                             self.tiling, self.operator)
 
 
 def _default_decision(pins: Optional[Pins], source: str) -> TuneDecision:
@@ -80,6 +85,7 @@ def _default_decision(pins: Optional[Pins], source: str) -> TuneDecision:
         layout=pins.layout or "aos",
         chained=chained,
         tiling=tiling if chained else None,
+        operator=pins.operator,
         source=source,
     )
 
@@ -139,7 +145,7 @@ class Tuner:
             best = ranked[0]
             return TuneDecision(
                 best.backend, best.layout, best.chained, best.tiling,
-                source="model",
+                best.operator, source="model",
             )
         measured: List[tuple] = []
         for cand in ranked[: max(1, self.top_k)]:
@@ -153,7 +159,8 @@ class Tuner:
         best_s, best = min(measured, key=lambda t: t[0])
         decision = TuneDecision(
             best.backend, best.layout, best.chained, best.tiling,
-            source="probe", probed=len(measured), probe_s=best_s,
+            best.operator, source="probe", probed=len(measured),
+            probe_s=best_s,
         )
         if doc is None:
             # First negotiation for this workload wins the slot; later
@@ -172,6 +179,8 @@ def _respects_pins(decision: TuneDecision, pins: Optional[Pins]) -> bool:
         return False
     if pins.tiling_pinned and decision.tiling != pins.tiling:
         return False
+    if pins.operator is not None and decision.operator != pins.operator:
+        return False
     return True
 
 
@@ -185,6 +194,8 @@ def _apply_pins(decision: TuneDecision, pins: Optional[Pins]) -> TuneDecision:
         layout=decision.layout if pins.layout is None else pins.layout,
         chained=chained,
         tiling=tiling if chained else None,
+        operator=(decision.operator if pins.operator is None
+                  else pins.operator),
         source="db",
         probed=decision.probed,
         probe_s=decision.probe_s,

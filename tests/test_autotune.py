@@ -28,7 +28,11 @@ from repro.perfmodel import (
     fit_calibration_from_profile,
 )
 from repro.tune import (
+    Pins,
     TuneCandidate,
+    TuneDecision,
+    default_candidates,
+    predict_candidate,
     rank_candidates,
     reset_tune_cache,
     tune_cache_stats,
@@ -84,7 +88,14 @@ class TestAutoNeverChangesNumerics:
         ref = _aero(Runtime(make_backend("sequential")), chained=False)
         ref.run(2)
         assert np.array_equal(auto.phi, ref.phi)
-        assert np.array_equal(auto.state.mat.data, ref.state.mat.data)
+        rt = auto._runtime()
+        if rt.tuned_decision.operator == "matfree":
+            # Matfree never stages or assembles — the solution is the
+            # contract, the CSR values intentionally stay untouched.
+            assert auto.state.mat.assemble_calls == 0
+        else:
+            assert np.array_equal(auto.state.mat.data,
+                                  ref.state.mat.data)
 
     def test_unpinned_layout_is_negotiable(self):
         # No layout passed: the tuner owns the axis, and whatever it
@@ -133,6 +144,96 @@ class TestPinsAndReuse:
         _airfoil(rt)  # same runtime: no negotiation at all
         assert tune_cache_stats()["probes"] == probes
         assert tune_cache_stats()["hits"] == hits
+
+
+class TestOperatorAxis:
+    """Apps with interchangeable operator realizations expose them as a
+    tuning axis; apps without one are untouched."""
+
+    def test_default_candidates_cross_the_operator_axis(self):
+        base = default_candidates()
+        crossed = default_candidates(operators=("assembled", "matfree"))
+        assert len(crossed) == 2 * len(base)
+        assert {c.operator for c in crossed} == {"assembled", "matfree"}
+        assert all(c.operator is None for c in base)
+
+    def test_pinned_operator_collapses_the_axis(self):
+        pins = Pins(operator="matfree")
+        cands = default_candidates(pins,
+                                   operators=("assembled", "matfree"))
+        assert cands
+        assert all(c.operator == "matfree" for c in cands)
+
+    def test_decision_roundtrips_operator(self):
+        d = TuneDecision("native", "soa", True, None,
+                         operator="matfree")
+        d2 = TuneDecision.from_dict(d.to_dict())
+        assert d2.operator == "matfree"
+        assert d2.candidate().operator == "matfree"
+        # Decisions persisted before the axis existed load as None.
+        old = TuneDecision.from_dict(
+            {"backend": "vectorized", "layout": "aos", "chained": True,
+             "tiling": None})
+        assert old.operator is None
+
+    def test_predict_filters_loops_by_operator(self):
+        infos = [
+            {"name": "shared", "n": 1000, "kind": "direct",
+             "bytes": 1e8, "operator": None},
+            {"name": "asm_only", "n": 1000, "kind": "scatter",
+             "bytes": 5e9, "operator": "assembled"},
+            {"name": "mf_only", "n": 1000, "kind": "gather",
+             "bytes": 1e8, "operator": "matfree"},
+        ]
+        asm = predict_candidate(
+            TuneCandidate("vectorized", "aos", True, None,
+                          operator="assembled"), infos)
+        mf = predict_candidate(
+            TuneCandidate("vectorized", "aos", True, None,
+                          operator="matfree"), infos)
+        # The assembled candidate pays for the 5 GB scatter loop the
+        # matfree candidate never executes.
+        assert asm > mf
+
+    def test_flops_bound_loops_price_compute_time(self):
+        cand = TuneCandidate("vectorized", "aos", True, None)
+        cheap = predict_candidate(
+            cand, [{"name": "l", "n": 1000, "kind": "direct",
+                    "bytes": 1e6, "flops": 0.0}])
+        hot = predict_candidate(
+            cand, [{"name": "l", "n": 1000, "kind": "direct",
+                    "bytes": 1e6, "flops": 1e12}])
+        assert hot > cheap
+
+    def test_aero_auto_negotiates_the_operator(self):
+        rt = Runtime("auto")
+        sim = _aero(rt)
+        d = rt.tuned_decision
+        assert d.operator in ("assembled", "matfree")
+        assert sim.operator_mode == d.operator
+
+    def test_explicit_operator_is_a_pin(self):
+        rt = Runtime("auto")
+        sim = _aero(rt, operator="assembled")
+        assert rt.tuned_decision.operator == "assembled"
+        assert sim.operator_mode == "assembled"
+        sim.run(1)
+        assert sim.state.mat.assemble_calls == 1
+
+    def test_matfree_pin_runs_without_assembly(self):
+        rt = Runtime("auto")
+        sim = _aero(rt, operator="matfree")
+        assert rt.tuned_decision.operator == "matfree"
+        sim.run(2)
+        assert sim.state.mat.assemble_calls == 0
+        ref = _aero(Runtime(make_backend("sequential")), chained=False)
+        ref.run(2)
+        assert np.array_equal(sim.phi, ref.phi)
+
+    def test_apps_without_the_axis_stay_unannotated(self):
+        rt = Runtime("auto")
+        _airfoil(rt)
+        assert rt.tuned_decision.operator is None
 
 
 class TestPerfmodelLink:

@@ -112,6 +112,30 @@ class TestVectorGolden:
         )
         _assert_golden("vec_solve_spmv_w9.py.txt", source)
 
+    # Matfree kernels at the aero driver's shapes (W=9 row width,
+    # C=4 fold contributions): gathered IDX_ALL operands are (True,
+    # None); the per-row coefficient rows are fixed width-9 dats.
+    MATFREE_SHAPES = {
+        "coeffs": [(True, None), (True, None), (True, None),
+                   (True, None), (True, 9), (True, 9), (True, 9)],
+        "apply": [(True, 9), (True, None), (True, 1)],
+        "action": [(True, None), (True, None), (True, None),
+                   (True, None), (True, 1)],
+    }
+
+    @pytest.mark.parametrize("name", sorted(MATFREE_SHAPES))
+    def test_matfree(self, name):
+        """The matrix-free A·p kernels: the coefficient build (the
+        fold-table sum the assembled oracle replicates), the fixed-width
+        row MAC, and the fused single-pass action."""
+        from repro.solve import make_matfree_kernels
+
+        kernels = make_matfree_kernels(9, 4, 4)
+        source = emit_vector_source(
+            kernel_ir(kernels[name]), self.MATFREE_SHAPES[name]
+        )
+        _assert_golden(f"vec_matfree_{name}_w9c4.py.txt", source)
+
 
 # ----------------------------------------------------------------------
 # Scalar stub snapshots: the Fig 2b argument forms.
@@ -196,15 +220,20 @@ class TestNativeGolden:
             from repro.apps.volna import VolnaSim
 
             sim = VolnaSim(make_tri_mesh(8, 6), runtime=rt, chained=True)
-        else:
+        elif app == "aero":
             from repro.apps.aero import AeroSim
 
             sim = AeroSim(make_airfoil_mesh(10, 5), runtime=rt,
                           chained=True)
+        else:  # aeromf: the matrix-free operator pipeline
+            from repro.apps.aero import AeroSim
+
+            sim = AeroSim(make_airfoil_mesh(10, 5), runtime=rt,
+                          chained=True, operator="matfree")
         sim.run(1)
         return list(rt._chains.values())
 
-    @pytest.mark.parametrize("app", ["airfoil", "volna", "aero"])
+    @pytest.mark.parametrize("app", ["airfoil", "volna", "aero", "aeromf"])
     def test_app_chains(self, app):
         from repro.kernelc import emit_chain_source
 

@@ -241,6 +241,35 @@ class TestStatsSurface:
         assert entry["kind"] == "direct"
         assert entry["est_bytes"] > 0
         assert entry["seconds"] >= 0
+        # The compute leg of the roofline profile: IR-derived flop
+        # counts and the resulting bound classification.
+        assert entry["flops_per_element"] >= 0
+        assert entry["est_flops"] >= 0
+        assert entry["est_gflops"] >= 0
+        assert entry["bound"] in ("compute", "bandwidth")
+        # A copy moves bytes and adds nothing: bandwidth-bound.
+        assert entry["bound"] == "bandwidth"
+
+    def test_profile_classifies_compute_bound_loops(self):
+        from repro.apps.aero import AeroSim
+        from repro.mesh import make_airfoil_mesh
+
+        rt = Runtime("vectorized")
+        sim = AeroSim(make_airfoil_mesh(12, 6), runtime=rt,
+                      operator="matfree")
+        sim.run(1)
+        loops = rt.stats()["profile"]["loops"]
+        rho = loops["rho_calc"]
+        # rho_calc's per-node transcendental work tips it past the
+        # machine-balance flops/byte line.
+        assert rho["flops_per_element"] > 0
+        assert rho["bound"] == "compute"
+        coeffs = next(v for k, v in loops.items()
+                      if k.startswith("matfree_coeffs_w"))
+        # The coefficient build streams quadrature tables: heavy flops,
+        # heavier traffic.
+        assert coeffs["flops_per_element"] > 100
+        assert coeffs["bound"] == "bandwidth"
 
     def test_clear_caches_resets_counters(self):
         rt = Runtime("sequential")
