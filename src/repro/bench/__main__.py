@@ -180,6 +180,11 @@ def main(argv=None) -> int:
         auto_t = autotune_ablation(steps=2, repeats=5)
         print(auto_t.render())
         print(f"[saved {auto_t.save('ablation_autotune', args.outdir)}]\n")
+        from .warmstart import cold_warm_ablation
+
+        cw_t = cold_warm_ablation(steps=2)
+        print(cw_t.render())
+        print(f"[saved {cw_t.save('ablation_cold_warm', args.outdir)}]\n")
         print(f"Results under {args.outdir or RESULTS_DIR}/")
         return 0
 
@@ -228,6 +233,11 @@ def main(argv=None) -> int:
         table = autotune_ablation()
         print(table.render())
         table.save("ablation_autotune", args.outdir)
+        from .warmstart import cold_warm_ablation
+
+        table = cold_warm_ablation()
+        print(table.render())
+        table.save("ablation_cold_warm", args.outdir)
 
     print(f"Results under {args.outdir or RESULTS_DIR}/")
     return 0

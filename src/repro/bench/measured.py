@@ -729,8 +729,16 @@ def autotune_ablation(
 
 
 #: Registry of measured ablation artifacts (`python -m repro.bench --ablations`).
+def _cold_warm_ablation(**kw):
+    # Deferred import: warmstart imports time_app from this module.
+    from .warmstart import cold_warm_ablation
+
+    return cold_warm_ablation(**kw)
+
+
 ALL_ABLATIONS = {
     "ablation_batch": batch_ablation,
     "ablation_layout": layout_ablation,
     "ablation_cache": cache_ablation,
+    "ablation_cold_warm": _cold_warm_ablation,
 }

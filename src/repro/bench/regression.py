@@ -64,6 +64,7 @@ SPECS: List[Tuple[str, Tuple[str, ...], str, Optional[str]]] = [
     ("ablation_matfree", ("operator",), "speedup vs assembled",
      "assembled"),
     ("ablation_autotune", ("app",), "auto vs best", None),
+    ("ablation_cold_warm", ("app", "process"), "warm speedup", "cold"),
 ]
 
 #: Absolute floor for the auto-tuner ratio (best-hand-time / auto-time):
@@ -75,6 +76,12 @@ AUTOTUNE_FLOOR = 0.90
 #: steps must beat warm assembled by at least this ratio on the native
 #: backend (the matrix-free acceptance bar), baseline or not.
 MATFREE_FLOOR = 1.2
+
+#: Absolute floor for the warm-start ratio (cold process wall time /
+#: warm process wall time): a warm process replaying every artifact
+#: from the store must not run slower than the cold one, baseline or
+#: not (deserialization beating construction is the store's point).
+COLD_WARM_FLOOR = 1.0
 
 
 def _load_rows(results_dir: Path, artifact: str) -> Optional[List[Dict]]:
@@ -195,6 +202,23 @@ def check(
                 f"{fresh['value']:.2f}x warm assembled "
                 f"(floor {MATFREE_FLOOR})"
             )
+        # The warm-start ablation's absolute bar: a process replaying
+        # from the artifact store must not lose to the cold build.
+        if (fresh["artifact"] == "ablation_cold_warm"
+                and fresh["value"] < COLD_WARM_FLOOR):
+            failures.append(
+                f"ablation_cold_warm: warm process ran at "
+                f"{fresh['value']:.2f}x the cold one "
+                f"(floor {COLD_WARM_FLOOR}) — the store is not paying"
+            )
+    # The warm-start ablation also embeds its counter acceptance
+    # (disk_hits > 0, builds == 0, native compiles == 0) in the
+    # artifact's meta — surface any failure recorded there.
+    cw_path = results_dir / "ablation_cold_warm.json"
+    if cw_path.exists():
+        meta = json.loads(cw_path.read_text()).get("meta", {})
+        for msg in meta.get("warm_acceptance_failures", []) or []:
+            failures.append(f"ablation_cold_warm acceptance: {msg}")
     return failures
 
 

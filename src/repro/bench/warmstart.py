@@ -1,0 +1,304 @@
+"""Cross-process warm-start tooling: the artifact store's CI gate.
+
+The persistent store (:mod:`repro.store`) promises that a second
+process running the same workload replays everything from disk — zero
+plan construction, zero tiling inspection, zero kernel emission, zero
+native compiles.  This module makes that promise executable:
+
+``python -m repro.bench.warmstart run --out stats.json``
+    runs the aero + airfoil quick workloads in *this* process (one
+    process = one cold-or-warm measurement; the store under
+    ``$REPRO_CACHE_DIR`` decides which) and dumps the per-kind store
+    counters plus the wall time;
+
+``python -m repro.bench.warmstart check cold.json warm.json``
+    enforces the warm-start acceptance on two such dumps: the warm
+    process must show ``disk_hits > 0`` and ``builds == 0`` for plan /
+    chain / tiled / kernelc, and ``compiles == 0`` for native;
+
+``python -m repro.bench.warmstart corrupt --fraction 0.3 --seed 7``
+    garbles a deterministic random subset of the store's files, for the
+    corrupt-cache smoke (tier-1 must still pass against the damaged
+    store, with ``corrupt`` counted — never raised).
+
+``cold_warm_ablation()`` wraps the same run in two subprocesses
+sharing a fresh store and reports the measured process-level warm-start
+speedup (``ablation_cold_warm``, guarded by the bench-regression
+baseline like every other fast path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+#: Kinds the warm acceptance pins: a replaying process must hit disk
+#: and construct nothing for each of these.
+CHECKED_KINDS = ("plan", "chain", "tiled", "kernelc")
+
+#: All persistent kinds dumped for the CI artifact.
+PERSISTED_KINDS = ("plan", "chain", "tiled", "kernelc", "native", "tune")
+
+
+# ----------------------------------------------------------------------
+# run
+# ----------------------------------------------------------------------
+def run_workload(apps: List[str], steps: int = 2) -> Dict:
+    """One cold-or-warm measurement in the current process.
+
+    ``aero`` runs Picard steps (assembly + CG) on the vectorized
+    backend, chained + tiled — exercising the plan, chain, tiled and
+    kernelc stores.  ``airfoil`` replays its chain on the native
+    backend when a C compiler is available (vectorized otherwise) —
+    exercising the native ``.so`` store.  The store under
+    ``$REPRO_CACHE_DIR`` decides whether this process is cold or warm.
+    """
+    from .. import store
+    from ..kernelc import compiler_available, native_cache_stats
+    from ..mesh import make_airfoil_mesh
+    from .measured import time_app
+
+    t0 = time.perf_counter()
+    if "aero" in apps:
+        time_app("aero", "vectorized", "two_level", {},
+                 mesh=make_airfoil_mesh(24, 12), steps=steps,
+                 chained=True, tiling="auto")
+    if "airfoil" in apps:
+        backend = "native" if compiler_available() else "vectorized"
+        time_app("airfoil", backend, "two_level", {},
+                 mesh=make_airfoil_mesh(24, 12), steps=steps,
+                 chained=True)
+    wall = time.perf_counter() - t0
+    return {
+        "apps": list(apps),
+        "steps": steps,
+        "workload_s": wall,
+        "cache_dir": os.environ.get("REPRO_CACHE_DIR", ""),
+        "compiler_available": bool(compiler_available()),
+        "native": dict(native_cache_stats()),
+        "stats": {k: store.store_stats(k) for k in PERSISTED_KINDS},
+    }
+
+
+# ----------------------------------------------------------------------
+# check
+# ----------------------------------------------------------------------
+def check_warm(cold: Dict, warm: Dict) -> List[str]:
+    """The warm-start acceptance.  Returns failure messages (empty = pass)."""
+    failures: List[str] = []
+    for kind in CHECKED_KINDS:
+        c, w = cold["stats"][kind], warm["stats"][kind]
+        if c["builds"] == 0:
+            failures.append(
+                f"{kind}: cold process built nothing (builds == 0) — "
+                f"the workload no longer exercises this store"
+            )
+        if w["disk_hits"] <= 0:
+            failures.append(
+                f"{kind}: warm process shows disk_hits == "
+                f"{w['disk_hits']} (expected > 0)"
+            )
+        if w["builds"] != 0:
+            failures.append(
+                f"{kind}: warm process still performed "
+                f"{w['builds']} expensive construction(s) "
+                f"(expected builds == 0)"
+            )
+    if warm["native"]["compiles"] != 0:
+        failures.append(
+            f"native: warm process invoked the C compiler "
+            f"{warm['native']['compiles']} time(s) (expected 0)"
+        )
+    if cold["compiler_available"] and cold["native"]["compiles"] > 0 \
+            and warm["native"]["disk_hits"] <= 0:
+        failures.append(
+            "native: cold process compiled but the warm process did "
+            "not load any .so from the store"
+        )
+    return failures
+
+
+# ----------------------------------------------------------------------
+# corrupt
+# ----------------------------------------------------------------------
+def corrupt_store(root: Path, fraction: float, seed: int) -> List[str]:
+    """Garble a deterministic random subset of the store's files.
+
+    Half the victims are truncated mid-document, half overwritten with
+    non-pickle garbage — both shapes the store must count (``corrupt``)
+    and survive.  Returns the relative paths touched.
+    """
+    files = sorted(
+        p for p in root.rglob("*")
+        if p.is_file() and not p.name.startswith(".")
+    )
+    rng = random.Random(seed)
+    n = max(1, int(len(files) * fraction)) if files else 0
+    victims = rng.sample(files, n)
+    touched = []
+    for i, path in enumerate(victims):
+        if i % 2 == 0:
+            data = path.read_bytes()
+            path.write_bytes(data[: max(1, len(data) // 2)])
+        else:
+            path.write_bytes(b"\x00corrupt artifact smoke\xff")
+        touched.append(str(path.relative_to(root)))
+    return touched
+
+
+# ----------------------------------------------------------------------
+# ablation
+# ----------------------------------------------------------------------
+def cold_warm_ablation(steps: int = 2):
+    """Cold vs warm *process* wall time for the aero Picard workload.
+
+    Two subprocesses run the identical workload against one fresh
+    shared store: the first pays plan construction, tiling inspection
+    and kernel emission; the second replays everything from disk
+    (``ablation_cold_warm`` is the acceptance artifact: the warm
+    process must not be slower, and the warm-start counters must show
+    a genuine replay — the ``check`` subcommand's acceptance, inlined).
+    """
+    from .harness import ReportTable
+
+    t = ReportTable("Ablation: cold vs warm process start (artifact store)")
+    t.meta.update({"app": "aero", "steps": steps,
+                   "knob": "persistent artifact store"})
+    with tempfile.TemporaryDirectory(prefix="repro-warmstart-") as tmp:
+        dumps = []
+        for _ in ("cold", "warm"):
+            out = _spawn_run(Path(tmp) / "store", ["aero"], steps)
+            dumps.append(out)
+        cold, warm = dumps
+        failures = check_warm(cold, warm)
+        t.meta["warm_acceptance_failures"] = failures
+        for label, d in (("cold", cold), ("warm", warm)):
+            stats = d["stats"]
+            t.add(
+                app="aero",
+                process=label,
+                **{
+                    "workload s": round(d["workload_s"], 3),
+                    "warm speedup": round(
+                        cold["workload_s"] / d["workload_s"], 2
+                    ),
+                    "plan builds": stats["plan"]["builds"],
+                    "chain builds": stats["chain"]["builds"],
+                    "tiled builds": stats["tiled"]["builds"],
+                    "kernelc builds": stats["kernelc"]["builds"],
+                    "disk hits": sum(
+                        stats[k]["disk_hits"] for k in CHECKED_KINDS
+                    ),
+                },
+            )
+    t.note(
+        "Both processes run the identical aero Picard workload "
+        "(vectorized, chained + tiled) against one shared "
+        "REPRO_CACHE_DIR.  The warm row replays persisted plans, "
+        "fused chains, tiled schedules and generated kernels with "
+        "zero expensive constructions; `warm speedup` is whole-"
+        "workload wall time, so it bundles every avoided inspector."
+    )
+    if failures:
+        t.note("WARM ACCEPTANCE FAILED: " + "; ".join(failures))
+    return t
+
+
+def _spawn_run(cache_dir: Path, apps: List[str], steps: int) -> Dict:
+    src = Path(__file__).resolve().parents[2]
+    env = dict(os.environ, REPRO_CACHE_DIR=str(cache_dir))
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(src)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    out = subprocess.run(
+        [sys.executable, "-m", "repro.bench.warmstart", "run",
+         "--apps", ",".join(apps), "--steps", str(steps)],
+        env=env, capture_output=True, text=True,
+    )
+    if out.returncode != 0:
+        raise RuntimeError(
+            f"warmstart run subprocess failed:\n{out.stderr[-2000:]}"
+        )
+    return json.loads(out.stdout)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.warmstart",
+        description="Warm-start acceptance tooling for the artifact store.",
+    )
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p_run = sub.add_parser("run", help="run the workload, dump counters")
+    p_run.add_argument("--apps", default="aero,airfoil")
+    p_run.add_argument("--steps", type=int, default=2)
+    p_run.add_argument("--out", default=None, metavar="FILE")
+
+    p_check = sub.add_parser("check", help="enforce the warm acceptance")
+    p_check.add_argument("cold", metavar="COLD_JSON")
+    p_check.add_argument("warm", metavar="WARM_JSON")
+
+    p_cor = sub.add_parser("corrupt", help="garble a store subset")
+    p_cor.add_argument("--fraction", type=float, default=0.3)
+    p_cor.add_argument("--seed", type=int, default=7)
+    p_cor.add_argument("--root", default=None,
+                       help="store root (default: $REPRO_CACHE_DIR)")
+
+    args = parser.parse_args(argv)
+
+    if args.cmd == "run":
+        dump = run_workload(
+            [a for a in args.apps.split(",") if a], steps=args.steps
+        )
+        text = json.dumps(dump, indent=2, default=str)
+        if args.out:
+            Path(args.out).write_text(text)
+        print(text)
+        return 0
+
+    if args.cmd == "check":
+        cold = json.loads(Path(args.cold).read_text())
+        warm = json.loads(Path(args.warm).read_text())
+        failures = check_warm(cold, warm)
+        if failures:
+            for f in failures:
+                print(f"FAIL: {f}", file=sys.stderr)
+            return 1
+        print(
+            "warm-start acceptance OK: "
+            + ", ".join(
+                f"{k} disk_hits={warm['stats'][k]['disk_hits']}"
+                for k in CHECKED_KINDS
+            )
+            + f", native compiles={warm['native']['compiles']}"
+        )
+        return 0
+
+    if args.cmd == "corrupt":
+        root = Path(args.root or os.environ.get("REPRO_CACHE_DIR", ""))
+        if not str(root) or not root.is_dir():
+            print("corrupt: no store directory (set $REPRO_CACHE_DIR "
+                  "or --root)", file=sys.stderr)
+            return 1
+        touched = corrupt_store(root, args.fraction, args.seed)
+        print(f"garbled {len(touched)} file(s) under {root}:")
+        for rel in touched:
+            print(f"  {rel}")
+        return 0
+
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -336,6 +336,11 @@ class CompiledChain:
     tile_size: int = 0
     #: Canonical (``"phases"`` profile) tiled schedule, or ``None``.
     tiled: object = None
+    #: Persistent-store key of this chain (:func:`repro.store.chain_key`),
+    #: or ``None`` for unkeyable traces (explicit plan overrides).  Set
+    #: by the runtime; lazily-built tiled profiles use it to consult the
+    #: tiled store before re-running the inspector.
+    store_key: Optional[str] = field(default=None, compare=False, repr=False)
     #: Per-backend prepared executor programs (populated lazily by
     #: backends that specialize replay, e.g. the vectorized backend's
     #: prebound gather/kernel/scatter closures).  Keyed by backend
@@ -372,17 +377,44 @@ class CompiledChain:
             return self.tiled
         sched = self._tiled_profiles.get(profile)
         if sched is None:
-            from ..tiling import build_tiled_schedule
-
-            sched = build_tiled_schedule(
-                self.loops, self.tile_size, profile=profile
+            sched = load_or_build_tiled(
+                self.store_key, self.loops, self.tile_size, profile
             )
             self._tiled_profiles[profile] = sched
         return sched
 
 
+def load_or_build_tiled(store_key, loops, tile_size: int, profile: str):
+    """One tiled schedule, through the persistent ``tiled`` store.
+
+    A warm process replays the inspector's slicing decisions from disk
+    — zero tiling inspection; a cold (or unkeyable: ``store_key=None``)
+    one runs the inspector, counts the build, and persists the result.
+    """
+    from .. import store
+    from ..tiling import build_tiled_schedule
+
+    tstore = store.store_for("tiled")
+    tkey = (
+        store.tiled_key(store_key, tile_size, profile)
+        if store_key is not None
+        else None
+    )
+    payload = tstore.get(tkey)
+    if payload is not None:
+        try:
+            return store.decode_tiled(payload)
+        except Exception:
+            store.bump("tiled", "corrupt")
+            store.unlink_quiet(tstore.path_for(tkey))
+    store.count_build("tiled")
+    sched = build_tiled_schedule(loops, tile_size, profile=profile)
+    tstore.put(tkey, store.encode_tiled(sched))
+    return sched
+
+
 def compile_chain(
-    specs: Sequence[LoopSpec], runtime, tiling=None
+    specs: Sequence[LoopSpec], runtime, tiling=None, store_key=None
 ) -> CompiledChain:
     """Validate, resolve plans, fuse, analyze — and optionally tile.
 
@@ -441,13 +473,13 @@ def compile_chain(
     tiled = None
     tile_size = 0
     if tiling is not None:
-        from ..tiling import auto_tile_size, build_tiled_schedule, check_tiling
+        from ..tiling import auto_tile_size, check_tiling
 
         tiling = check_tiling(tiling)
         tile_size = (
             auto_tile_size(bound) if tiling == "auto" else int(tiling)
         )
-        tiled = build_tiled_schedule(bound, tile_size, profile="phases")
+        tiled = load_or_build_tiled(store_key, bound, tile_size, "phases")
 
     return CompiledChain(
         groups=tuple(groups),
@@ -455,6 +487,7 @@ def compile_chain(
         tiling=tiling,
         tile_size=tile_size,
         tiled=tiled,
+        store_key=store_key,
     )
 
 

@@ -482,12 +482,42 @@ class PlanCache:
             self._plans.move_to_end(key)
             return plan
         self.misses += 1
-        plan = build_plan(set_, args, block_size, scheme, coloring_method)
+        plan = self._load_or_build(
+            set_, args, block_size, scheme, coloring_method
+        )
         self._plans[key] = plan
         if self.max_entries is not None:
             while len(self._plans) > self.max_entries:
                 self._plans.popitem(last=False)
                 self.evictions += 1
+        return plan
+
+    @staticmethod
+    def _load_or_build(
+        set_: Set,
+        args: Sequence[Arg],
+        block_size: int,
+        scheme: str,
+        coloring_method: str,
+    ) -> Plan:
+        """Disk layer below the memory miss: decode a persisted plan,
+        or build (the expensive graph coloring) and persist it.  Any
+        failure to decode counts as corrupt and falls back to a build —
+        a broken store never surfaces to the execution path."""
+        from .. import store
+
+        skey = store.plan_key(set_, args, block_size, scheme, coloring_method)
+        pstore = store.store_for("plan")
+        payload = pstore.get(skey)
+        if payload is not None:
+            try:
+                return store.decode_plan(payload, set_)
+            except Exception:
+                store.bump("plan", "corrupt")
+                store.unlink_quiet(pstore.path_for(skey))
+        store.count_build("plan")
+        plan = build_plan(set_, args, block_size, scheme, coloring_method)
+        pstore.put(skey, store.encode_plan(plan))
         return plan
 
     def clear(self) -> None:

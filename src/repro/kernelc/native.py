@@ -20,7 +20,7 @@ operation: elements execute in ascending order, every floating-point
 expression maps to the exact machine operation NumPy's scalar path
 performs (``+ - * /`` are IEEE double ops, ``np.sqrt`` is the
 correctly-rounded ``sqrt``, ``np.minimum``/``np.maximum`` keep NumPy's
-NaN/ordering rule, ``**`` mirrors ``npy_pow``'s special cases), and
+NaN/ordering rule, ``**`` is libm ``pow`` — numpy's scalar pow), and
 the TU is compiled with ``-ffp-contract=off -fno-fast-math`` so the
 compiler can neither fuse multiply-adds nor reassociate.  Native
 results are therefore *bitwise identical* to sequential eager
@@ -563,16 +563,14 @@ class _LoopEmitter:
         elif isinstance(expo, ast.UnaryOp) and isinstance(expo.op, ast.USub) \
                 and isinstance(expo.operand, ast.Constant):
             v = -float(expo.operand.value)
-        # Mirror npy_pow's special cases exactly (numpy scalar **).
+        # numpy *scalar* ``**`` (the interpreter oracle) is plain libm
+        # pow()/powf() — unlike array ``**``, whose small-exponent fast
+        # paths (np.square, sqrt, reciprocal) round differently by one
+        # ulp on some inputs.  Only the exponents where pow() is exact
+        # by IEEE (x**0 == 1, x**1 == x) may fold.
         if v is not None:
-            if v == 2.0:
-                return f"({b} * {b})"
-            if v == -1.0:
-                return f"({self._lit(1.0)} / {b})"
             if v == 0.0:
                 return self._lit(1.0)
-            if v == 0.5:
-                return f"sqrt{self.sfx}({b})"
             if v == 1.0:
                 return b
             return f"pow{self.sfx}({b}, {self._lit(v)})"
@@ -1078,14 +1076,9 @@ static inline double kc_pymin(double a, double b)
 { return (b < a) ? b : a; }
 static inline double kc_pymax(double a, double b)
 { return (b > a) ? b : a; }
-/* npy_pow's special-case ladder, bitwise-faithful to numpy ``**``. */
+/* numpy scalar ``**`` is plain libm pow() — no array-style fast paths. */
 static double kc_pow(double x, double y)
 {
-    if (y == 2.0) return x * x;
-    if (y == -1.0) return 1.0 / x;
-    if (y == 0.0) return 1.0;
-    if (y == 0.5) return sqrt(x);
-    if (y == 1.0) return x;
     return pow(x, y);
 }
 /* Single-precision twins for float32 (Volna) loops. */
@@ -1099,11 +1092,6 @@ static inline float kc_pymaxf(float a, float b)
 { return (b > a) ? b : a; }
 static float kc_powf(float x, float y)
 {
-    if (y == 2.0f) return x * x;
-    if (y == -1.0f) return 1.0f / x;
-    if (y == 0.0f) return 1.0f;
-    if (y == 0.5f) return sqrtf(x);
-    if (y == 1.0f) return x;
     return powf(x, y);
 }
 """
@@ -1205,7 +1193,11 @@ void kc_run_fused(void **P);
 
 #: cc flags: IEEE-strict (no contraction, no reassociation) — the
 #: determinism contract depends on these.
-CFLAGS = ["-O2", "-fPIC", "-shared", "-fno-fast-math", "-ffp-contract=off"]
+#: ``-fno-builtin-pow``: GCC otherwise expands ``pow(x, 2.0)`` into
+#: ``x * x`` at compile time, which rounds one ulp away from libm pow —
+#: the numpy-scalar semantics the oracle interpreter exhibits.
+CFLAGS = ["-O2", "-fPIC", "-shared", "-fno-fast-math", "-ffp-contract=off",
+          "-fno-builtin-pow", "-fno-builtin-powf"]
 
 _stats = {
     "compiles": 0,
@@ -1234,17 +1226,56 @@ def reset_native_cache() -> None:
     """Drop in-memory compiled libraries and zero the counters (tests).
     The on-disk cache is left alone — remove ``native_cache_dir()`` to
     clear it."""
+    from .. import store
+
     _mem_libs.clear()
     _cc_probe.clear()
     for k in _stats:
         _stats[k] = 0
+    c = store.counters("native")
+    for k in c:
+        c[k] = 0
 
 
 def native_cache_dir() -> Path:
+    """Directory holding compiled ``.so``/``.c`` pairs.
+
+    ``$REPRO_NATIVE_CACHE`` keeps the historical flat layout (tests and
+    deployments that pin a private binary cache); otherwise binaries
+    live in the unified artifact store (``$REPRO_CACHE_DIR/native/``)
+    under a machine-fingerprint subdirectory — compiled code is not
+    portable across machines the way pickled plan documents are.
+    """
     override = os.environ.get("REPRO_NATIVE_CACHE")
     if override:
         return Path(override)
-    return Path.home() / ".cache" / "repro_native"
+    from .. import store
+    from ..tune.signature import machine_fingerprint
+
+    return store.cache_root() / "native" / machine_fingerprint()
+
+
+def library_key(source: str) -> str:
+    """Disk key of one compiled TU: source content **plus CFLAGS**.
+
+    Unlike :func:`source_key` (the pure source digest, the in-memory
+    key), the disk key folds in the compile flags: they are
+    behavior-affecting (``-fno-builtin-pow`` changes rounding), so a
+    flags change must invalidate every cached binary.
+    """
+    return hashlib.sha256(
+        "\x1f".join([source, *CFLAGS]).encode()
+    ).hexdigest()
+
+
+def _so_checksum_ok(so_path: Path) -> bool:
+    """True when the ``.sum`` sidecar matches the binary's content."""
+    try:
+        data = so_path.read_bytes()
+        expected = so_path.with_suffix(".sum").read_bytes()
+        return hashlib.sha256(data).hexdigest().encode() == expected.strip()
+    except OSError:
+        return False
 
 
 def _find_cc() -> Optional[str]:
@@ -1281,6 +1312,8 @@ def compiler_available() -> bool:
 
 def load_native_library(source: str):
     """Compile (or fetch from cache) one TU; returns ``(ffi, lib, key)``."""
+    from .. import store
+
     sha = source_key(source)
     cached = _mem_libs.get(sha)
     if cached is not None:
@@ -1290,42 +1323,77 @@ def load_native_library(source: str):
 
     ffi = cffi.FFI()
     ffi.cdef(_CDEF)
+    disk_ok = not store.store_disabled("native")
     cache_dir = native_cache_dir()
-    so_path = cache_dir / f"{sha}.so"
+    lkey = library_key(source)
+    so_path = cache_dir / f"{lkey}.so"
     lib = None
-    if so_path.exists():
-        try:
-            lib = ffi.dlopen(str(so_path))
-            _stats["disk_hits"] += 1
-        except OSError:  # stale/foreign artifact: recompile below
-            lib = None
+    if disk_ok:
+        if so_path.exists():
+            # Verify the checksum sidecar before dlopen: a truncated
+            # .so can map cleanly and then SIGBUS at call time, so
+            # dlopen's own error path cannot be the integrity check.
+            if not _so_checksum_ok(so_path):
+                store.bump("native", "corrupt")
+                store.unlink_quiet(so_path)
+                store.unlink_quiet(so_path.with_suffix(".sum"))
+            else:
+                try:
+                    lib = ffi.dlopen(str(so_path))
+                    _stats["disk_hits"] += 1
+                    store.bump("native", "disk_hits")
+                except OSError:  # stale/foreign artifact: recompile below
+                    lib = None
+                    store.bump("native", "corrupt")
+                    store.unlink_quiet(so_path)
+                    store.unlink_quiet(so_path.with_suffix(".sum"))
+        else:
+            store.bump("native", "disk_misses")
     if lib is None:
         cc = _find_cc()
         if cc is None:
             raise NativeUnsupported("no C compiler on PATH")
         cache_dir.mkdir(parents=True, exist_ok=True)
-        c_path = cache_dir / f"{sha}.c"
-        c_path.write_text(source)
+        if disk_ok:
+            # The .c rides along for debugging; the .so is the artifact.
+            store.atomic_write_bytes(cache_dir / f"{lkey}.c", source.encode())
         fd, tmp_so = tempfile.mkstemp(
-            suffix=".so", prefix=f".{sha[:12]}-", dir=str(cache_dir)
+            suffix=".part", prefix=f".{lkey[:12]}-", dir=str(cache_dir)
         )
         os.close(fd)
         try:
             proc = subprocess.run(
-                [cc, *CFLAGS, str(c_path), "-o", tmp_so, "-lm"],
-                capture_output=True, text=True,
+                [cc, *CFLAGS, "-x", "c", "-", "-o", tmp_so, "-lm"],
+                input=source, capture_output=True, text=True,
             )
             if proc.returncode != 0:
                 _stats["failures"] += 1
                 raise NativeUnsupported(
                     f"cc failed ({proc.returncode}): {proc.stderr[-800:]}"
                 )
-            os.replace(tmp_so, so_path)
+            _stats["compiles"] += 1
+            store.count_build("native")
+            if disk_ok:
+                digest = hashlib.sha256(
+                    Path(tmp_so).read_bytes()
+                ).hexdigest()
+                os.replace(tmp_so, so_path)
+                store.atomic_write_bytes(
+                    so_path.with_suffix(".sum"), digest.encode()
+                )
+                store.bump("native", "writes")
+                store.lru_sweep(
+                    cache_dir, store.max_entries_for("native"), "native",
+                    ["*.so"],
+                )
+                lib = ffi.dlopen(str(so_path))
+            else:
+                # Persistence disabled: load the private temp binary and
+                # unlink it (the dlopen mapping keeps it alive).
+                lib = ffi.dlopen(tmp_so)
         finally:
             if os.path.exists(tmp_so):
                 os.unlink(tmp_so)
-        _stats["compiles"] += 1
-        lib = ffi.dlopen(str(so_path))
     _mem_libs[sha] = (ffi, lib)
     return ffi, lib, sha
 

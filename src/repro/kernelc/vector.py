@@ -69,6 +69,23 @@ def _lane_select(mask, if_true, if_false):
     return np.where(m, if_true, if_false)
 
 
+def _lane_pow(base, exp):
+    """Lane-wise power matching numpy *scalar* ``**`` bitwise.
+
+    The scalar interpreter (the bitwise oracle) evaluates ``a ** b`` on
+    ``np.float64`` scalars, which is plain C ``pow()``.  Array ``**``
+    instead fast-paths small exponents (``np.square``, ``sqrt``,
+    reciprocal), which rounds differently by one ulp on some inputs.
+    ``np.float_power`` takes the ``pow()`` path elementwise, so it is
+    the faithful vectorization for float64 operands; other dtypes keep
+    plain ``**`` (float32 has no pow-path vector primitive, and integer
+    ``**`` must stay integer).
+    """
+    if np.result_type(base, exp) == np.float64:
+        return np.float_power(base, exp)
+    return base ** exp
+
+
 #: Reserved names the generated source resolves against (injected into
 #: the exec namespace; user code never sees them).
 _RESERVED = {
@@ -76,6 +93,7 @@ _RESERVED = {
     "_kc_select": _lane_select,
     "_kc_vmin": _intrinsics.vmin,
     "_kc_vmax": _intrinsics.vmax,
+    "_kc_pow": _lane_pow,
 }
 
 _INDENT = "    "
@@ -179,6 +197,10 @@ class VectorEmitter:
         if isinstance(node, ast.BinOp):
             left, lb = self._rx(node.left, env)
             right, rb = self._rx(node.right, env)
+            if isinstance(node.op, ast.Pow) and (lb or rb):
+                # Lane-batched ``**`` must reproduce the *scalar*
+                # interpreter's pow (C pow()), not the array fast paths.
+                return _call("_kc_pow", [left, right]), True
             return ast.BinOp(left=left, op=node.op, right=right), lb or rb
         if isinstance(node, ast.UnaryOp):
             operand, ob = self._rx(node.operand, env)
@@ -542,14 +564,20 @@ def emit_vector_source(ir: KernelIR, shapes) -> str:
 
 
 def compile_vector(ir: KernelIR, shapes):
-    """Compile the batched kernel and return the callable.
+    """Emit and compile the batched kernel, returning the callable."""
+    return compile_vector_source(ir, emit_vector_source(ir, shapes))
 
-    The function executes against the scalar kernel's own namespace
+
+def compile_vector_source(ir: KernelIR, source: str):
+    """Compile already-emitted batched-kernel source to a callable.
+
+    Split from :func:`compile_vector` so the persistent kernelc store
+    can replay a generated source without re-running the emitter.  The
+    function executes against the scalar kernel's own namespace
     (globals + closure constants) plus the reserved ``_kc_*`` lowering
     helpers, so free names (flow constants, ``np``, ``select``, helper
     functions) resolve exactly as they did in the scalar source.
     """
-    source = emit_vector_source(ir, shapes)
     namespace = dict(ir.namespace)
     namespace.update(_RESERVED)
     code = compile(source, f"<kernelc vector {ir.name}>", "exec")

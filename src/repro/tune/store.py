@@ -1,26 +1,31 @@
 """On-disk tuning DB: the 7th runtime cache kind.
 
-Follows the native compile cache's pattern (``kernelc/native.py``): a
-content-keyed directory of small files under ``$REPRO_TUNE_CACHE``
-(default ``~/.cache/repro_tune``), written atomically (``mkstemp`` +
-``os.replace``), tolerant of corrupt or stale entries (they count, get
-unlinked, and the caller re-probes), with a versioned schema so a
-format change invalidates old entries instead of misreading them.
+Built on the unified artifact store's file machinery
+(:mod:`repro.store.base`): decisions live under
+``$REPRO_TUNE_CACHE`` when set (historical layout) and inside the
+unified root (``$REPRO_CACHE_DIR/tune/``) otherwise, written atomically
+(:func:`~repro.store.base.atomic_write_bytes`), tolerant of corrupt or
+stale entries (they count, get unlinked, and the caller re-probes),
+with a versioned schema so a format change invalidates old entries
+instead of misreading them.  Decisions stay human-readable JSON — the
+one kind a user may want to inspect or hand-edit — rather than the
+document store's pickles.
 
 Layout: one JSON file per decision, ``<root>/<machine fingerprint>/
 <signature>.json`` — the fingerprint directory scopes decisions to the
 hardware class that probed them.  Module-level counters surface as
-``Runtime.stats()["tune_cache"]``.
+``Runtime.stats()["tune_cache"]``, and every disk event is mirrored
+into the shared per-kind counters (:func:`repro.store.store_stats`).
 """
 
 from __future__ import annotations
 
 import json
 import os
-import tempfile
 from pathlib import Path
 from typing import Dict, List, Optional
 
+from ..store import base as store_base
 from .signature import machine_fingerprint
 
 #: Bump when the persisted decision format changes; older entries are
@@ -45,7 +50,7 @@ def tune_cache_dir() -> Path:
     override = os.environ.get("REPRO_TUNE_CACHE")
     if override:
         return Path(override)
-    return Path.home() / ".cache" / "repro_tune"
+    return store_base.cache_root() / "tune"
 
 
 def tuning_disabled() -> bool:
@@ -78,10 +83,16 @@ def reset_tune_cache() -> None:
     remove ``tune_cache_dir()`` to clear it."""
     for k in _stats:
         _stats[k] = 0
+    c = store_base.counters("tune")
+    for k in c:
+        c[k] = 0
 
 
 def count_probe() -> None:
     _stats["probes"] += 1
+    # A probe is this kind's "expensive construction": the warm-start
+    # acceptance pins builds == 0 for a replaying process.
+    store_base.count_build("tune")
 
 
 def count_probe_fallback() -> None:
@@ -125,11 +136,14 @@ class TuneStore:
             doc = json.loads(path.read_text())
         except FileNotFoundError:
             _stats["misses"] += 1
+            store_base.bump("tune", "disk_misses")
             return None
         except (OSError, ValueError):
             _stats["corrupt"] += 1
             _stats["misses"] += 1
-            self._unlink(path)
+            store_base.bump("tune", "corrupt")
+            store_base.bump("tune", "disk_misses")
+            store_base.unlink_quiet(path)
             return None
         if (
             not isinstance(doc, dict)
@@ -139,9 +153,12 @@ class TuneStore:
         ):
             _stats["corrupt"] += 1
             _stats["misses"] += 1
-            self._unlink(path)
+            store_base.bump("tune", "corrupt")
+            store_base.bump("tune", "disk_misses")
+            store_base.unlink_quiet(path)
             return None
         _stats["hits"] += 1
+        store_base.bump("tune", "disk_hits")
         try:
             os.utime(path)
         except OSError:
@@ -162,21 +179,11 @@ class TuneStore:
             "key": key,
             "decision": dict(decision),
         }
-        try:
-            self.dir.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(
-                suffix=".part", prefix=f".{key[:12]}-", dir=str(self.dir)
-            )
-            try:
-                with os.fdopen(fd, "w") as f:
-                    json.dump(doc, f, indent=1)
-                os.replace(tmp, self._path(key))
-            finally:
-                if os.path.exists(tmp):
-                    os.unlink(tmp)
-        except OSError:
+        data = json.dumps(doc, indent=1).encode()
+        if not store_base.atomic_write_bytes(self._path(key), data):
             return  # read-only cache dir: skip persistence, keep running
         _stats["writes"] += 1
+        store_base.bump("tune", "writes")
         self._evict()
 
     def entries(self) -> List[str]:
@@ -186,26 +193,13 @@ class TuneStore:
 
     def clear(self) -> None:
         for p in list(self.dir.glob("*.json")) if self.dir.is_dir() else []:
-            self._unlink(p)
+            store_base.unlink_quiet(p)
 
     # ------------------------------------------------------------------
     def _evict(self) -> None:
         """Drop oldest-touched entries beyond ``max_entries``."""
-        try:
-            files = sorted(
-                self.dir.glob("*.json"), key=lambda p: p.stat().st_mtime
-            )
-        except OSError:
-            return
-        excess = len(files) - self.max_entries
-        for p in files[: max(0, excess)]:
-            if self._unlink(p):
-                _stats["evictions"] += 1
-
-    @staticmethod
-    def _unlink(path: Path) -> bool:
-        try:
-            path.unlink()
-            return True
-        except OSError:
-            return False
+        before = store_base.counters("tune")["evictions"]
+        store_base.lru_sweep(self.dir, self.max_entries, "tune", ["*.json"])
+        _stats["evictions"] += (
+            store_base.counters("tune")["evictions"] - before
+        )

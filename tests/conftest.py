@@ -7,6 +7,9 @@ proper package module, immune to the ``conftest``-name collision with
 
 from __future__ import annotations
 
+import os
+import tempfile
+
 import numpy as np
 import pytest
 
@@ -14,6 +17,14 @@ from repro.mesh import make_airfoil_mesh, make_tri_mesh
 from repro.testing import BACKEND_MATRIX, LAYOUT_MATRIX, runtime_for
 
 __all__ = ["BACKEND_MATRIX", "LAYOUT_MATRIX", "runtime_for"]
+
+# Isolate the persistent artifact store (repro.store): a test run must
+# never read another process's ~/.cache/repro_artifacts — warm disk
+# hits would make tests order- and history-dependent.  Set only when
+# the caller did not: CI's corrupt-cache smoke step deliberately points
+# the suite at a pre-corrupted store via REPRO_CACHE_DIR.
+if "REPRO_CACHE_DIR" not in os.environ:
+    os.environ["REPRO_CACHE_DIR"] = tempfile.mkdtemp(prefix="repro-store-")
 
 
 @pytest.fixture(scope="session")

@@ -17,7 +17,7 @@ value shows up as a one-ULP diff here long before it corrupts an app.
 """
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import example, given, settings
 from hypothesis import strategies as st
 
 from repro.core import (
@@ -188,6 +188,10 @@ def test_direct_poly_bitwise(case):
 
 @settings(**FUZZ_SETTINGS)
 @given(case=CASES)
+# Regression pin: an input where array ``x ** 2`` (np.square fast path)
+# rounds one ulp away from scalar pow() — the emitters must take the
+# scalar path (see kernelc/vector.py:_lane_pow, native.py:_pow).
+@example(case={"seed": 6801, "n": 11, "layout": "aos", "special": 0.0})
 def test_direct_math_bitwise(case):
     _assert_legs_bitwise(
         lambda *a: _run_direct(fz_math, *a), case, "fz_math")

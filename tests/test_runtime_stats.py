@@ -193,13 +193,17 @@ class TestKernelcCacheEviction:
         stats = rt.stats()
         assert set(stats["kernelc_cache"]) == {
             "hits", "misses", "failures", "evictions", "entries",
-            "max_entries",
+            "max_entries", "store",
         }
 
 
 class TestStatsSurface:
     #: Counter keys every cache kind reports (the normalized schema).
     CANONICAL = {"hits", "misses", "evictions", "entries", "max_entries"}
+    #: Uniform disk-layer keys every persistent kind's ``store``
+    #: sub-dict reports (repro.store.base.COUNTER_NAMES + entry count).
+    STORE = {"disk_hits", "disk_misses", "writes", "corrupt", "evictions",
+             "builds", "disk_entries", "max_entries"}
 
     def test_all_seven_cache_kinds_reported(self):
         rt = Runtime("vectorized", chain_cache_entries=4)
@@ -211,16 +215,25 @@ class TestStatsSurface:
                      arg_dat(b, IDX_ID, None, WRITE), runtime=rt)
         stats = rt.stats()
         for kind in ("loop_cache", "plan_cache", "chain_cache",
-                     "kernelc_cache", "native_cache", "tune_cache"):
+                     "tiled_cache", "kernelc_cache", "native_cache",
+                     "tune_cache"):
             assert self.CANONICAL <= set(stats[kind]), kind
+        # The six persistent kinds all report the uniform disk-layer
+        # counters of repro.store; the loop cache (call-site identity,
+        # unpersistable) is the only kind without one.
+        for kind in ("plan_cache", "chain_cache", "tiled_cache",
+                     "kernelc_cache", "native_cache", "tune_cache"):
+            assert set(stats[kind]["store"]) == self.STORE, kind
+        assert "store" not in stats["loop_cache"]
         # The native compile cache keeps its historical sha-keyed
         # counters next to the normalized aliases.
         assert set(stats["native_cache"]) == self.CANONICAL | {
             "compiles", "disk_hits", "mem_hits", "failures", "fallbacks",
+            "store",
         }
         # The tuning DB adds its probe bookkeeping to the schema.
         assert set(stats["tune_cache"]) == self.CANONICAL | {
-            "writes", "corrupt", "probes", "probe_fallbacks",
+            "writes", "corrupt", "probes", "probe_fallbacks", "store",
         }
         # The tiled lowering is a chain-cache entry kind: its key
         # includes the tiling request, so fused and tiled coexist.
@@ -328,7 +341,11 @@ class TestNativeCacheCounters:
         rt, b = self._chained_step("off")
         assert np.array_equal(b.data, np.ones((16, 1)))  # vec fallback ran
         s = rt.stats()["native_cache"]
+        store = s.pop("store")
         assert s == {"compiles": 0, "disk_hits": 0, "mem_hits": 0,
                      "failures": 0, "fallbacks": 0, "entries": 0,
                      "hits": 0, "misses": 0, "evictions": 0,
                      "max_entries": None}
+        # The disk layer stayed silent too (reset_native_cache zeroed
+        # it, and the disabled path never touched the store).
+        assert store["disk_hits"] == 0 and store["builds"] == 0
